@@ -1,0 +1,235 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per
+// table/figure; DESIGN.md §3 maps IDs to paper artifacts). Each
+// Table1/Figure benchmark drives the corresponding experiment sweep; the
+// Op benchmarks measure wall-clock and PIM Model cost per operation
+// through the public API and report the model metrics the paper's
+// theorems bound (rounds/batch, words/op, balance) via ReportMetric.
+//
+// Run everything:  go test -bench=. -benchmem
+// One table:       go test -bench=BenchmarkTable1RoundsLCP
+package pimtrie
+
+import (
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/baseline"
+	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// benchScale keeps full-suite time reasonable; cmd/pimbench runs the
+// larger DefaultScale.
+var benchScale = experiments.Scale{P: 16, N: 4000, Batch: 512, Seed: 1}
+
+// --- Table 1 and figure reproductions (experiment sweeps) -------------
+
+func BenchmarkTable1Space(b *testing.B) { // E1
+	for i := 0; i < b.N; i++ {
+		experiments.SpaceTable(benchScale)
+	}
+}
+
+func BenchmarkTable1RoundsLCP(b *testing.B) { // E2
+	for i := 0; i < b.N; i++ {
+		experiments.RoundsLCP(benchScale)
+	}
+}
+
+func BenchmarkRoundsVsP(b *testing.B) { // E2b
+	for i := 0; i < b.N; i++ {
+		experiments.RoundsVsP(benchScale)
+	}
+}
+
+func BenchmarkTable1RoundsUpdate(b *testing.B) { // E3
+	for i := 0; i < b.N; i++ {
+		experiments.RoundsUpdate(benchScale)
+	}
+}
+
+func BenchmarkTable1RoundsSubtree(b *testing.B) { // E4
+	for i := 0; i < b.N; i++ {
+		experiments.RoundsSubtree(benchScale)
+	}
+}
+
+func BenchmarkTable1CommPerOp(b *testing.B) { // E5
+	for i := 0; i < b.N; i++ {
+		experiments.CommPerOp(benchScale)
+	}
+}
+
+func BenchmarkTable1CommSubtree(b *testing.B) { // E6
+	for i := 0; i < b.N; i++ {
+		experiments.CommSubtree(benchScale)
+	}
+}
+
+func BenchmarkSkewBalance(b *testing.B) { // E7
+	for i := 0; i < b.N; i++ {
+		experiments.SkewBalance(benchScale)
+	}
+}
+
+func BenchmarkSkewedDataBalance(b *testing.B) { // E7b
+	for i := 0; i < b.N; i++ {
+		experiments.SkewedDataBalance(benchScale)
+	}
+}
+
+func BenchmarkTheoremBounds(b *testing.B) { // E8
+	for i := 0; i < b.N; i++ {
+		experiments.TheoremBounds(benchScale)
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) { // E9a
+	for i := 0; i < b.N; i++ {
+		experiments.AblationBlockSize(benchScale)
+	}
+}
+
+func BenchmarkAblationPushPull(b *testing.B) { // E9b
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPushPull(benchScale)
+	}
+}
+
+func BenchmarkAblationHashWidth(b *testing.B) { // E9c
+	for i := 0; i < b.N; i++ {
+		experiments.AblationHashWidth(benchScale)
+	}
+}
+
+func BenchmarkAblationRegionSize(b *testing.B) { // E9d
+	for i := 0; i < b.N; i++ {
+		experiments.AblationRegionSize(benchScale)
+	}
+}
+
+func BenchmarkAblationPivotProbing(b *testing.B) { // E9e
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPivotProbing(benchScale)
+	}
+}
+
+// --- per-operation benchmarks over the public API ---------------------
+
+func loadedIndex(b *testing.B, p, n int) (*Index, []Key) {
+	b.Helper()
+	g := workload.New(1)
+	keys := g.VarLen(n, 48, 192)
+	idx := New(p, Options{Seed: 1})
+	idx.Load(keys, g.Values(len(keys)))
+	return idx, keys
+}
+
+func reportModel(b *testing.B, idx *Index, before Metrics, batches int, ops int) {
+	d := idx.Metrics().Sub(before)
+	b.ReportMetric(float64(d.Rounds)/float64(batches), "rounds/batch")
+	b.ReportMetric(float64(d.IOWords)/float64(ops), "words/op")
+	b.ReportMetric(d.IOBalance(), "balance")
+}
+
+func BenchmarkOpLCPBatch(b *testing.B) {
+	idx, keys := loadedIndex(b, 16, 8000)
+	g := workload.New(2)
+	queries := g.PrefixQueries(keys, 1024, 16)
+	b.ResetTimer()
+	before := idx.Metrics()
+	for i := 0; i < b.N; i++ {
+		idx.LCP(queries)
+	}
+	reportModel(b, idx, before, b.N, b.N*len(queries))
+}
+
+func BenchmarkOpGetBatch(b *testing.B) {
+	idx, keys := loadedIndex(b, 16, 8000)
+	g := workload.New(3)
+	queries := g.Zipf(keys, 1024, 1.2)
+	b.ResetTimer()
+	before := idx.Metrics()
+	for i := 0; i < b.N; i++ {
+		idx.Get(queries)
+	}
+	reportModel(b, idx, before, b.N, b.N*len(queries))
+}
+
+func BenchmarkOpInsertDeleteBatch(b *testing.B) {
+	idx, _ := loadedIndex(b, 16, 8000)
+	g := workload.New(4)
+	fresh := g.FixedLen(512, 128)
+	values := g.Values(len(fresh))
+	b.ResetTimer()
+	before := idx.Metrics()
+	for i := 0; i < b.N; i++ {
+		idx.Insert(fresh, values)
+		idx.Delete(fresh)
+	}
+	reportModel(b, idx, before, b.N, 2*b.N*len(fresh))
+}
+
+func BenchmarkOpSubtree(b *testing.B) {
+	g := workload.New(5)
+	keys := g.SharedPrefix(2000, 24, 96)
+	idx := New(16, Options{Seed: 5})
+	idx.Load(keys, g.Values(len(keys)))
+	prefix := keys[0].Prefix(24)
+	b.ResetTimer()
+	before := idx.Metrics()
+	for i := 0; i < b.N; i++ {
+		idx.Subtree(prefix)
+	}
+	reportModel(b, idx, before, b.N, b.N)
+}
+
+func BenchmarkOpBulkLoad(b *testing.B) {
+	g := workload.New(6)
+	keys := g.VarLen(8000, 48, 192)
+	values := g.Values(len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := New(16, Options{Seed: int64(i)})
+		idx.Load(keys, values)
+	}
+}
+
+// --- baseline per-op benchmarks (wall clock comparison) ---------------
+
+func BenchmarkBaselineDistRadixLCP(b *testing.B) {
+	g := workload.New(7)
+	keys := g.FixedLen(4000, 128)
+	sys := pim.NewSystem(16, pim.WithSeed(7))
+	d := baseline.NewDistRadix(sys, 8, keys, g.Values(len(keys)))
+	queries := g.PrefixQueries(keys, 512, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.LCP(queries)
+	}
+	m := sys.Metrics()
+	b.ReportMetric(float64(m.Rounds)/float64(b.N), "rounds/batch")
+}
+
+func BenchmarkBaselineRangePartLCP(b *testing.B) {
+	g := workload.New(8)
+	keys := g.FixedLen(4000, 128)
+	sys := pim.NewSystem(16, pim.WithSeed(8))
+	rp := baseline.NewRangePart(sys, keys, g.Values(len(keys)))
+	queries := g.PrefixQueries(keys, 512, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp.LCP(queries)
+	}
+}
+
+func BenchmarkBaselineDistXFastLPL(b *testing.B) {
+	g := workload.New(9)
+	ints := g.Uints(4000, 64)
+	sys := pim.NewSystem(16, pim.WithSeed(9))
+	xf := baseline.NewDistXFast(sys, 64, ints, g.Values(len(ints)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xf.LongestPrefixLevel(ints[:512])
+	}
+}

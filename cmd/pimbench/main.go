@@ -1,0 +1,84 @@
+// Command pimbench regenerates every table and figure of the PIM-trie
+// paper's evaluation (DESIGN.md §3 maps each experiment to its paper
+// artifact). Results are PIM Model metrics measured on the simulator.
+//
+// Usage:
+//
+//	pimbench                         # run everything at the default scale
+//	pimbench -exp E2,E7              # run selected experiments
+//	pimbench -p 64 -n 50000 -batch 4096 -seed 7
+//	pimbench -list                   # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pimlab/pimtrie/internal/experiments"
+)
+
+var registry = []struct {
+	id, what string
+	run      func(experiments.Scale) experiments.Table
+}{
+	{"E1", "Table 1 space column", experiments.SpaceTable},
+	{"E2", "Table 1 IO rounds (LCP)", experiments.RoundsLCP},
+	{"E2b", "rounds/IO-time vs P", experiments.RoundsVsP},
+	{"E3", "Table 1 IO rounds (Insert/Delete)", experiments.RoundsUpdate},
+	{"E4", "Table 1 IO rounds (Subtree)", experiments.RoundsSubtree},
+	{"E5", "Table 1 communication (LCP/Insert)", experiments.CommPerOp},
+	{"E6", "Table 1 communication (Subtree)", experiments.CommSubtree},
+	{"E7", "skew resistance (query skew)", experiments.SkewBalance},
+	{"E7b", "skew resistance (data skew)", experiments.SkewedDataBalance},
+	{"E8", "Theorem 4.3 bound check", experiments.TheoremBounds},
+	{"E9a", "ablation: block size", experiments.AblationBlockSize},
+	{"E9b", "ablation: push-pull threshold", experiments.AblationPushPull},
+	{"E9c", "ablation: hash width", experiments.AblationHashWidth},
+	{"E9d", "ablation: region size", experiments.AblationRegionSize},
+	{"E9e", "ablation: pivot probing", experiments.AblationPivotProbing},
+}
+
+func main() {
+	var (
+		exps  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		p     = flag.Int("p", experiments.DefaultScale.P, "number of PIM modules")
+		n     = flag.Int("n", experiments.DefaultScale.N, "stored keys")
+		batch = flag.Int("batch", experiments.DefaultScale.Batch, "queries per batch")
+		seed  = flag.Int64("seed", experiments.DefaultScale.Seed, "workload/placement seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.what)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *exps != "" {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+	fmt.Printf("pimbench: P=%d n=%d batch=%d seed=%d\n\n", sc.P, sc.N, sc.Batch, sc.Seed)
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tb := e.run(sc)
+		fmt.Print(tb.Format())
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "pimbench: no experiment matched -exp; try -list")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,106 @@
+// Command pimtrie-inspect loads a synthetic workload into a PIM-trie and
+// dumps the structural and cost picture: blocks, regions, per-module
+// space and the cost of a probe batch. Useful for eyeballing how the
+// index lays data out under different distributions.
+//
+// Usage:
+//
+//	pimtrie-inspect -p 32 -n 10000 -dist shared -prefix 512
+//	pimtrie-inspect -dist var -min 32 -max 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/core"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+func main() {
+	var (
+		p      = flag.Int("p", 32, "PIM modules")
+		n      = flag.Int("n", 10000, "stored keys")
+		batch  = flag.Int("batch", 1024, "probe batch size")
+		seed   = flag.Int64("seed", 1, "seed")
+		dist   = flag.String("dist", "var", "distribution: fixed|var|shared|chain|ip")
+		bits   = flag.Int("bits", 128, "key bits (fixed)")
+		minB   = flag.Int("min", 32, "min bits (var)")
+		maxB   = flag.Int("max", 256, "max bits (var)")
+		prefix = flag.Int("prefix", 512, "shared prefix bits (shared)")
+		kb     = flag.Int("kb", 0, "block words K_B (0 = default)")
+		trace  = flag.Bool("trace", false, "print a per-round trace of the probe batch")
+	)
+	flag.Parse()
+
+	g := workload.New(*seed)
+	var keys []bitstr.String
+	switch *dist {
+	case "fixed":
+		keys = g.FixedLen(*n, *bits)
+	case "var":
+		keys = g.VarLen(*n, *minB, *maxB)
+	case "shared":
+		keys = g.SharedPrefix(*n, *prefix, 64)
+	case "chain":
+		keys = g.PrefixChain(*n, 8)
+	case "ip":
+		keys = g.IPv4Prefixes(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -dist %q\n", *dist)
+		os.Exit(2)
+	}
+	values := g.Values(len(keys))
+
+	sys := pim.NewSystem(*p, pim.WithSeed(*seed))
+	pt := core.New(sys, core.Config{HashSeed: uint64(*seed), BlockWords: *kb})
+	pt.Build(keys, values)
+
+	st := pt.CollectStats()
+	total, per := sys.SpaceWords()
+	min, max := per[0], per[0]
+	for _, w := range per {
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	fmt.Printf("pimtrie-inspect: P=%d dist=%s\n", *p, *dist)
+	fmt.Printf("keys            %d\n", st.Keys)
+	fmt.Printf("blocks          %d (K_B=%d words)\n", st.Blocks, pt.Config().BlockWords)
+	fmt.Printf("regions         %d (K_MB=%d metas)\n", st.Regions, pt.Config().MetaBlockMax)
+	fmt.Printf("space           %d words total; per-module min %d / avg %d / max %d\n",
+		total, min, total / *p, max)
+	fmt.Printf("space balance   %.2f (P·max/total)\n", float64(max)*float64(*p)/float64(total))
+
+	queries := g.PrefixQueries(keys, *batch, 16)
+	if *trace {
+		sys.StartTrace()
+	}
+	before := sys.Metrics()
+	pt.LCP(queries)
+	d := sys.Metrics().Sub(before)
+	fmt.Printf("\nLCP batch of %d:\n", len(queries))
+	fmt.Printf("rounds          %d\n", d.Rounds)
+	fmt.Printf("io-words        %d (%.2f / op)\n", d.IOWords, float64(d.IOWords)/float64(len(queries)))
+	fmt.Printf("io-time         %d (balance %.2f)\n", d.IOTime, d.IOBalance())
+	fmt.Printf("pim-time        %d (balance %.2f)\n", d.PIMTime, d.WorkBalance())
+	fmt.Printf("cpu-work        %d\n", d.CPUWork)
+	if pt.FalseHits() > 0 || pt.Rehashes() > 0 {
+		fmt.Printf("verification    %d false hits dropped, %d rehashes\n", pt.FalseHits(), pt.Rehashes())
+	}
+	if *trace {
+		fmt.Printf("\nper-round trace (batch phases):\n")
+		fmt.Printf("%-6s %-7s %-8s %-10s %-10s %-8s %-8s\n",
+			"round", "tasks", "modules", "send", "recv", "max-io", "max-work")
+		for i, tr := range sys.StopTrace() {
+			fmt.Printf("%-6d %-7d %-8d %-10d %-10d %-8d %-8d\n",
+				i+1, tr.Tasks, tr.Modules, tr.SendWords, tr.RecvWords, tr.MaxIO, tr.MaxWork)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// IP routing: the classic trie workload from the paper's introduction
+// (IP routing tables are one of the canonical radix-tree applications).
+//
+// A routing table maps CIDR prefixes to next hops; forwarding a packet
+// is a longest-prefix-match — exactly the LCP operation, valid only when
+// the matched length corresponds to an installed prefix, which we check
+// with a second Get batch. A synthetic BGP-like table stands in for a
+// real snapshot (see DESIGN.md: repro substitution).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	pimtrie "github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+func ipStr(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24, v>>16&255, v>>8&255, v&255)
+}
+
+func main() {
+	const nRoutes = 50_000
+	idx := pimtrie.New(32, pimtrie.Options{Seed: 7})
+
+	// Install a synthetic routing table: value = next-hop id.
+	g := workload.New(7)
+	routes := g.IPv4Prefixes(nRoutes)
+	hops := make([]uint64, len(routes))
+	for i := range hops {
+		hops[i] = uint64(i % 256)
+	}
+	idx.Insert(routes, hops)
+	fmt.Printf("installed %d prefixes (deduped: %d) on %d modules, %d words of PIM memory\n",
+		nRoutes, idx.Len(), idx.P(), idx.SpaceWords())
+
+	// Forward a batch of packets: longest-prefix match each destination.
+	r := rand.New(rand.NewSource(99))
+	dsts := make([]pimtrie.Key, 4096)
+	for i := range dsts {
+		if i%2 == 0 {
+			// Half the traffic goes under installed prefixes.
+			p := routes[r.Intn(len(routes))]
+			dsts[i] = p.Concat(pimtrie.KeyFromUint(uint64(r.Uint32()), 32-p.Len()))
+		} else {
+			dsts[i] = pimtrie.KeyFromUint(uint64(r.Uint32()), 32)
+		}
+	}
+	before := idx.Metrics()
+	lcp := idx.LCP(dsts)
+	// A match is a route only if the matched prefix itself is installed.
+	probes := make([]pimtrie.Key, len(dsts))
+	for i := range dsts {
+		probes[i] = dsts[i].Prefix(lcp[i])
+	}
+	hopsOut, isRoute := idx.Get(probes)
+	d := idx.Metrics().Sub(before)
+
+	routed := 0
+	for i := range dsts {
+		if isRoute[i] {
+			routed++
+		}
+	}
+	fmt.Printf("forwarded %d packets: %d routed, %d dropped (no covering prefix)\n",
+		len(dsts), routed, len(dsts)-routed)
+	for i := 0; i < len(dsts) && i < 4; i++ {
+		dst := ipStr(uint32(dsts[i].Uint64()))
+		if isRoute[i] {
+			fmt.Printf("  %-15s -> /%d prefix, next hop %d\n", dst, lcp[i], hopsOut[i])
+		} else {
+			fmt.Printf("  %-15s -> drop\n", dst)
+		}
+	}
+	fmt.Printf("cost: %d IO rounds for the whole batch, %.1f words/packet, balance %.2f\n",
+		d.Rounds, float64(d.IOWords)/float64(len(dsts)), d.IOBalance())
+
+	// Withdraw one /16's worth of routes (prefix scan + batch delete).
+	victim := routes[0].Prefix(16)
+	under := idx.Subtree(victim)
+	keys := make([]pimtrie.Key, len(under))
+	for i, kv := range under {
+		keys[i] = kv.Key
+	}
+	idx.Delete(keys)
+	fmt.Printf("withdrew %d routes under %s/16; %d remain\n",
+		len(under), ipStr(uint32(victim.Uint64()<<16)), idx.Len())
+}

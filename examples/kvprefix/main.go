@@ -1,0 +1,70 @@
+// kvprefix: a variable-length string key-value store with prefix scans —
+// the in-memory-index workload (think a path-addressed metadata store)
+// that motivates tries over comparison trees: keys of wildly different
+// lengths, heavy shared prefixes, and range-by-prefix queries.
+package main
+
+import (
+	"fmt"
+
+	pimtrie "github.com/pimlab/pimtrie"
+)
+
+func main() {
+	idx := pimtrie.New(16, pimtrie.Options{Seed: 3})
+
+	// A filesystem-like namespace: deep shared prefixes of very different
+	// lengths — the shape that unbalances a trie.
+	paths := []string{
+		"/etc/hosts",
+		"/etc/ssh/sshd_config",
+		"/etc/ssh/ssh_config",
+		"/usr/bin/go",
+		"/usr/bin/gofmt",
+		"/usr/lib/go/src/fmt/print.go",
+		"/usr/lib/go/src/fmt/scan.go",
+		"/usr/lib/go/src/net/http/server.go",
+		"/var/log/syslog",
+		"/var/log/auth.log",
+	}
+	keys := make([]pimtrie.Key, len(paths))
+	sizes := make([]uint64, len(paths))
+	for i, p := range paths {
+		keys[i] = pimtrie.KeyFromString(p)
+		sizes[i] = uint64(1000 + i*37)
+	}
+	idx.Insert(keys, sizes)
+	fmt.Printf("indexed %d paths\n", idx.Len())
+
+	// Directory listing = prefix scan.
+	for _, dir := range []string{"/etc/ssh/", "/usr/lib/go/src/fmt/", "/nosuch/"} {
+		kvs := idx.Subtree(pimtrie.KeyFromString(dir))
+		fmt.Printf("%s -> %d entries\n", dir, len(kvs))
+		for _, kv := range kvs {
+			fmt.Printf("   %-40s %d bytes\n", string(kv.Key.Bytes()), kv.Value)
+		}
+	}
+
+	// Point lookups and updates.
+	v, ok := idx.Get([]pimtrie.Key{pimtrie.KeyFromString("/etc/hosts")})
+	fmt.Printf("stat /etc/hosts: %d bytes (found=%v)\n", v[0], ok[0])
+	idx.Insert([]pimtrie.Key{pimtrie.KeyFromString("/etc/hosts")}, []uint64{2048})
+	v, _ = idx.Get([]pimtrie.Key{pimtrie.KeyFromString("/etc/hosts")})
+	fmt.Printf("after rewrite: %d bytes\n", v[0])
+
+	// LCP as "longest existing ancestor": useful for resolving the
+	// deepest indexed directory of an arbitrary path.
+	q := pimtrie.KeyFromString("/usr/lib/go/src/fmt/errors.go")
+	l := idx.LCP([]pimtrie.Key{q})[0]
+	fmt.Printf("deepest indexed ancestor of …/fmt/errors.go covers %d bits (%d bytes: %q)\n",
+		l, l/8, string(q.Prefix(l-l%8).Bytes()))
+
+	// Remove a whole subtree.
+	kvs := idx.Subtree(pimtrie.KeyFromString("/var/"))
+	victims := make([]pimtrie.Key, len(kvs))
+	for i, kv := range kvs {
+		victims[i] = kv.Key
+	}
+	idx.Delete(victims)
+	fmt.Printf("rm -r /var: removed %d, %d paths remain\n", len(victims), idx.Len())
+}

@@ -1,0 +1,50 @@
+// Quickstart: create an index over 16 simulated PIM modules, insert a
+// few keys, and run each of the four batch operations.
+package main
+
+import (
+	"fmt"
+
+	pimtrie "github.com/pimlab/pimtrie"
+)
+
+func main() {
+	idx := pimtrie.New(16, pimtrie.Options{Seed: 42})
+
+	// Keys are variable-length bit strings; helpers cover the common
+	// encodings.
+	keys := []pimtrie.Key{
+		pimtrie.KeyFromString("hello"),
+		pimtrie.KeyFromString("help"),
+		pimtrie.KeyFromString("world"),
+		pimtrie.KeyFromBits("010011"),
+		pimtrie.KeyFromUint(1234567, 48),
+	}
+	idx.Insert(keys, []uint64{1, 2, 3, 4, 5})
+	fmt.Printf("stored %d keys over %d modules\n", idx.Len(), idx.P())
+
+	// Point lookups are batched.
+	vals, found := idx.Get([]pimtrie.Key{pimtrie.KeyFromString("help"), pimtrie.KeyFromString("nope")})
+	fmt.Printf("get help  -> %d (found=%v)\n", vals[0], found[0])
+	fmt.Printf("get nope  -> found=%v\n", found[1])
+
+	// LongestCommonPrefix: how many bits of each query exist in the index?
+	lcp := idx.LCP([]pimtrie.Key{pimtrie.KeyFromString("helmet")})
+	fmt.Printf("LCP(helmet) = %d bits (= %d whole bytes: \"hel\")\n", lcp[0], lcp[0]/8)
+
+	// Prefix scan: everything under "hel".
+	for _, kv := range idx.Subtree(pimtrie.KeyFromString("hel")) {
+		fmt.Printf("subtree hel: %s = %d\n", string(kv.Key.Bytes()), kv.Value)
+	}
+
+	// Deletes are batched too.
+	gone := idx.Delete([]pimtrie.Key{pimtrie.KeyFromString("help")})
+	fmt.Printf("deleted help: %v; %d keys remain\n", gone[0], idx.Len())
+
+	// Every batch's PIM Model cost is observable.
+	before := idx.Metrics()
+	idx.LCP(keys)
+	d := idx.Metrics().Sub(before)
+	fmt.Printf("last batch: %d IO rounds, %d words moved, balance %.2f\n",
+		d.Rounds, d.IOWords, d.IOBalance())
+}

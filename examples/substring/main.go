@@ -1,0 +1,67 @@
+// substring: suffix indexing on a PIM-trie — a small working instance of
+// the paper's future-work direction ("designing PIM-friendly algorithms
+// and data structures supported by these key methods, such as suffix
+// trees", §6).
+//
+// Indexing every suffix of a document makes substring search a pure LCP
+// query: a pattern occurs in the document iff some suffix has the whole
+// pattern as a prefix, i.e. iff LCP(pattern) == |pattern|. Occurrence
+// positions come back through the stored values, and Subtree enumerates
+// all matches. Suffix sets are maximally skewed trie inputs (every pair
+// of suffixes from a repetitive text shares long prefixes), which is
+// exactly the regime PIM-trie is built for.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	pimtrie "github.com/pimlab/pimtrie"
+)
+
+const document = `the quick brown fox jumps over the lazy dog. ` +
+	`pack my box with five dozen liquor jugs. ` +
+	`the five boxing wizards jump quickly. ` +
+	`how quickly daft jumping zebras vex. ` +
+	`sphinx of black quartz judge my vow.`
+
+func main() {
+	idx := pimtrie.New(16, pimtrie.Options{Seed: 5})
+
+	// Index every suffix; value = starting offset.
+	keys := make([]pimtrie.Key, len(document))
+	values := make([]uint64, len(document))
+	for i := range document {
+		keys[i] = pimtrie.KeyFromString(document[i:])
+		values[i] = uint64(i)
+	}
+	idx.Load(keys, values)
+	fmt.Printf("indexed %d suffixes of a %d-byte document (%d words of PIM memory)\n",
+		idx.Len(), len(document), idx.SpaceWords())
+
+	patterns := []string{"quick", "jump", "box", "zebra", "gopher", "the lazy"}
+	queries := make([]pimtrie.Key, len(patterns))
+	for i, p := range patterns {
+		queries[i] = pimtrie.KeyFromString(p)
+	}
+	before := idx.Metrics()
+	lcp := idx.LCP(queries)
+	d := idx.Metrics().Sub(before)
+
+	for i, p := range patterns {
+		if lcp[i] == queries[i].Len() {
+			// Enumerate occurrences with a prefix scan over the suffixes.
+			occ := idx.Subtree(queries[i])
+			var starts []string
+			for _, kv := range occ {
+				starts = append(starts, fmt.Sprintf("%d", kv.Value))
+			}
+			fmt.Printf("%-10q found %d× at offsets %s\n", p, len(occ), strings.Join(starts, ","))
+		} else {
+			fmt.Printf("%-10q not found (longest matching prefix: %q)\n",
+				p, p[:lcp[i]/8])
+		}
+	}
+	fmt.Printf("\nall %d pattern probes: %d IO rounds, balance %.2f\n",
+		len(patterns), d.Rounds, d.IOBalance())
+}

@@ -1,0 +1,3 @@
+module github.com/pimlab/pimtrie
+
+go 1.22

@@ -1,0 +1,451 @@
+// Package bitstr implements variable-length bit strings stored in machine
+// words. It is the fundamental key type of the PIM-trie: every trie edge
+// label, every stored key, and every query key is a bitstr.String.
+//
+// Bits are addressed from 0 (the first, most significant in lexicographic
+// order) to Len()-1. Internally bit i lives in word i/64 at position i%64,
+// least-significant-bit first, so that word-granularity operations (LCP,
+// slicing, hashing) can work 64 bits at a time with shifts and XORs.
+//
+// A String is an immutable value: all operations return new strings or
+// plain values and never mutate their receiver. The zero value is the
+// empty string and is ready to use.
+package bitstr
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WordBits is the machine word size w used throughout the PIM-trie
+// analysis. Values and hash results are O(w) bits; block sizes, pivot
+// spacing and the two-layer index all reference this constant.
+const WordBits = 64
+
+// String is an immutable bit string of arbitrary length.
+type String struct {
+	words []uint64 // bit i at words[i>>6] >> (i&63) & 1
+	n     int      // length in bits
+}
+
+// Empty is the zero-length bit string.
+var Empty = String{}
+
+// wordsFor returns the number of words needed to hold n bits.
+func wordsFor(n int) int { return (n + 63) >> 6 }
+
+// New returns a bit string of length n whose words are taken from w.
+// The slice is copied. Bits beyond n in the last word are cleared.
+func New(w []uint64, n int) String {
+	if n < 0 {
+		panic("bitstr: negative length")
+	}
+	nw := wordsFor(n)
+	if len(w) < nw {
+		panic("bitstr: word slice too short for length")
+	}
+	cp := make([]uint64, nw)
+	copy(cp, w[:nw])
+	clearTail(cp, n)
+	return String{words: cp, n: n}
+}
+
+// clearTail zeroes the bits at positions >= n in the final word.
+func clearTail(w []uint64, n int) {
+	if r := n & 63; r != 0 && len(w) > 0 {
+		w[len(w)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+// FromBits builds a bit string from a slice of 0/1 values, bit 0 first.
+func FromBits(b []byte) String {
+	w := make([]uint64, wordsFor(len(b)))
+	for i, v := range b {
+		if v != 0 {
+			w[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return String{words: w, n: len(b)}
+}
+
+// Parse builds a bit string from a textual form like "010110".
+// Characters other than '0' and '1' are rejected.
+func Parse(s string) (String, error) {
+	w := make([]uint64, wordsFor(len(s)))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			w[i>>6] |= 1 << uint(i&63)
+		case '0':
+		default:
+			return Empty, fmt.Errorf("bitstr: invalid character %q at %d", s[i], i)
+		}
+	}
+	return String{words: w, n: len(s)}, nil
+}
+
+// MustParse is Parse that panics on error; intended for constants in
+// tests and examples.
+func MustParse(s string) String {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FromBytes interprets each byte of b most-significant-bit first, the
+// conventional lexicographic encoding of byte strings (so the bitwise
+// order of FromBytes strings matches bytes.Compare order).
+func FromBytes(b []byte) String {
+	w := make([]uint64, wordsFor(len(b)*8))
+	for i, c := range b {
+		for j := 0; j < 8; j++ {
+			if c&(0x80>>uint(j)) != 0 {
+				pos := i*8 + j
+				w[pos>>6] |= 1 << uint(pos&63)
+			}
+		}
+	}
+	return String{words: w, n: len(b) * 8}
+}
+
+// FromUint64 encodes v as exactly n bits (n <= 64), most significant bit
+// of the n-bit value first, matching integer order.
+func FromUint64(v uint64, n int) String {
+	if n < 0 || n > 64 {
+		panic("bitstr: FromUint64 length out of range")
+	}
+	w := make([]uint64, wordsFor(n))
+	for j := 0; j < n; j++ {
+		if v&(1<<uint(n-1-j)) != 0 {
+			w[0] |= 1 << uint(j)
+		}
+	}
+	return String{words: w, n: n}
+}
+
+// Uint64 decodes the first min(n,64) bits as a big-endian integer, the
+// inverse of FromUint64.
+func (s String) Uint64() uint64 {
+	n := s.n
+	if n > 64 {
+		n = 64
+	}
+	var v uint64
+	for j := 0; j < n; j++ {
+		v = v<<1 | uint64(s.BitAt(j))
+	}
+	return v
+}
+
+// Len returns the length in bits.
+func (s String) Len() int { return s.n }
+
+// IsEmpty reports whether the string has zero length.
+func (s String) IsEmpty() bool { return s.n == 0 }
+
+// Words returns the number of machine words occupied, the unit in which
+// the PIM Model accounts space and communication.
+func (s String) Words() int { return wordsFor(s.n) }
+
+// SizeWords returns the space of the string in the PIM model: its payload
+// words plus one word for the length header.
+func (s String) SizeWords() int { return s.Words() + 1 }
+
+// BitAt returns bit i as 0 or 1. It panics if i is out of range.
+func (s String) BitAt(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: BitAt(%d) out of range [0,%d)", i, s.n))
+	}
+	return byte(s.words[i>>6] >> uint(i&63) & 1)
+}
+
+// FirstBit returns bit 0; the trie uses it to pick a child branch.
+func (s String) FirstBit() byte { return s.BitAt(0) }
+
+// RawWords exposes the backing words (read-only by convention) so that
+// hashing and the PIM simulator can account and process word-at-a-time.
+func (s String) RawWords() []uint64 { return s.words }
+
+// Slice returns the substring of bits [from, to). It panics on an invalid
+// range. The result shares no state with the receiver.
+func (s String) Slice(from, to int) String {
+	if from < 0 || to > s.n || from > to {
+		panic(fmt.Sprintf("bitstr: Slice(%d,%d) out of range [0,%d]", from, to, s.n))
+	}
+	n := to - from
+	if n == 0 {
+		return Empty
+	}
+	w := make([]uint64, wordsFor(n))
+	shift := uint(from & 63)
+	base := from >> 6
+	if shift == 0 {
+		copy(w, s.words[base:base+wordsFor(n)])
+	} else {
+		for i := range w {
+			lo := s.words[base+i] >> shift
+			var hi uint64
+			if base+i+1 < len(s.words) {
+				hi = s.words[base+i+1] << (64 - shift)
+			}
+			w[i] = lo | hi
+		}
+	}
+	clearTail(w, n)
+	return String{words: w, n: n}
+}
+
+// Prefix returns the first n bits.
+func (s String) Prefix(n int) String { return s.Slice(0, n) }
+
+// Suffix returns the bits from position n to the end.
+func (s String) Suffix(n int) String { return s.Slice(n, s.n) }
+
+// Concat returns the concatenation s·t.
+func (s String) Concat(t String) String {
+	if t.n == 0 {
+		return s
+	}
+	if s.n == 0 {
+		return t
+	}
+	n := s.n + t.n
+	w := make([]uint64, wordsFor(n))
+	copy(w, s.words)
+	shift := uint(s.n & 63)
+	base := s.n >> 6
+	if shift == 0 {
+		copy(w[base:], t.words)
+	} else {
+		for i, tw := range t.words {
+			w[base+i] |= tw << shift
+			if base+i+1 < len(w) {
+				w[base+i+1] = tw >> (64 - shift)
+			}
+		}
+	}
+	clearTail(w, n)
+	return String{words: w, n: n}
+}
+
+// AppendBit returns s with one extra bit b (0 or 1) appended.
+func (s String) AppendBit(b byte) String {
+	n := s.n + 1
+	w := make([]uint64, wordsFor(n))
+	copy(w, s.words)
+	if b != 0 {
+		w[s.n>>6] |= 1 << uint(s.n&63)
+	}
+	return String{words: w, n: n}
+}
+
+// LCP returns the length in bits of the longest common prefix of s and t.
+// It compares word-at-a-time: XOR exposes the first differing bit, found
+// with a trailing-zero count because bit i is stored at word position i%64.
+func LCP(s, t String) int {
+	n := s.n
+	if t.n < n {
+		n = t.n
+	}
+	nw := wordsFor(n)
+	for i := 0; i < nw; i++ {
+		if x := s.words[i] ^ t.words[i]; x != 0 {
+			d := i*64 + bits.TrailingZeros64(x)
+			if d < n {
+				return d
+			}
+			return n
+		}
+	}
+	return n
+}
+
+// HasPrefix reports whether p is a prefix of s.
+func (s String) HasPrefix(p String) bool {
+	return p.n <= s.n && LCP(s, p) == p.n
+}
+
+// Equal reports whether s and t are the same bit string.
+func Equal(s, t String) bool {
+	return s.n == t.n && LCP(s, t) == s.n
+}
+
+// Compare orders bit strings lexicographically with the convention that a
+// proper prefix sorts before its extensions ("0" < "00" < "01").
+// It returns -1, 0, or +1.
+func Compare(s, t String) int {
+	l := LCP(s, t)
+	switch {
+	case l == s.n && l == t.n:
+		return 0
+	case l == s.n:
+		return -1
+	case l == t.n:
+		return 1
+	case s.BitAt(l) < t.BitAt(l):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// PadTo returns s extended to length n by repeating bit b; if s is already
+// at least n bits it is returned unchanged. This implements the S0/S1
+// padding of the paper's two-layer index (§4.4.2).
+func (s String) PadTo(n int, b byte) String {
+	if s.n >= n {
+		return s
+	}
+	w := make([]uint64, wordsFor(n))
+	copy(w, s.words)
+	if b != 0 {
+		// Set every bit in [s.n, n).
+		for i := s.n; i < n && i&63 != 0; i++ {
+			w[i>>6] |= 1 << uint(i&63)
+		}
+		start := (s.n + 63) &^ 63
+		for i := start; i+64 <= n; i += 64 {
+			w[i>>6] = ^uint64(0)
+		}
+		for i := n &^ 63; i < n; i++ {
+			if i >= s.n {
+				w[i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+	clearTail(w, n)
+	return String{words: w, n: n}
+}
+
+// String renders the bits as '0'/'1' characters, bit 0 first.
+func (s String) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		b.WriteByte('0' + s.BitAt(i))
+	}
+	return b.String()
+}
+
+// GoString implements fmt.GoStringer for readable %#v output in tests.
+func (s String) GoString() string { return fmt.Sprintf("bitstr(%q)", s.String()) }
+
+// Bytes packs the bits back into bytes, MSB-first per byte (inverse of
+// FromBytes when Len is a multiple of 8); trailing bits are zero-padded.
+func (s String) Bytes() []byte {
+	out := make([]byte, (s.n+7)/8)
+	for i := 0; i < s.n; i++ {
+		if s.BitAt(i) != 0 {
+			out[i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+	return out
+}
+
+// Reverse returns the bits in reverse order; used by tests.
+func (s String) Reverse() String {
+	b := make([]byte, s.n)
+	for i := 0; i < s.n; i++ {
+		b[i] = s.BitAt(s.n - 1 - i)
+	}
+	return FromBits(b)
+}
+
+// CommonPrefix returns the longest common prefix of s and t as a string.
+func CommonPrefix(s, t String) String { return s.Prefix(LCP(s, t)) }
+
+// Sort sorts a slice of bit strings in Compare order using a most
+// significant digit radix sort on 64-bit chunks, falling back to
+// insertion sort for tiny buckets. It is the sequential core used by the
+// parallel string sort in package querytrie.
+func Sort(ss []String) {
+	msdSort(ss, 0)
+}
+
+const insertionCutoff = 12
+
+func msdSort(ss []String, wordIdx int) {
+	for len(ss) > insertionCutoff {
+		// Partition by whether the string has run out of words, then by
+		// the value of word wordIdx. Strings that end inside this word
+		// need bit-level care, handled by comparing padded keys: a string
+		// shorter than (wordIdx+1)*64 bits sorts by its remaining bits,
+		// and among equal prefixes shorter-first.
+		// For simplicity and worst-case soundness we use a 8-bit pass
+		// over the word via counting sort on a derived key.
+		key := func(s String) uint64 { return chunkKey(s, wordIdx) }
+		// 3-way quicksort on the 65-bit-ish derived key (exhausted flag +
+		// bit-reversed chunk) keeps it in-place and allocation free.
+		lo, hi := 0, len(ss)-1
+		if hi <= 0 {
+			return
+		}
+		pivot := key(ss[(lo+hi)/2])
+		lt, gt, i := lo, hi, lo
+		for i <= gt {
+			k := key(ss[i])
+			switch {
+			case k < pivot:
+				ss[lt], ss[i] = ss[i], ss[lt]
+				lt++
+				i++
+			case k > pivot:
+				ss[gt], ss[i] = ss[i], ss[gt]
+				gt--
+			default:
+				i++
+			}
+		}
+		msdSort(ss[:lt], wordIdx)
+		// The middle band shares chunk wordIdx; recurse on the next word
+		// unless the key marks exhaustion (all equal and finished).
+		if pivot != exhaustedKey {
+			msdSort(ss[lt:gt+1], wordIdx+1)
+		} else {
+			sortEqualExhausted(ss[lt : gt+1])
+		}
+		ss = ss[gt+1:]
+	}
+	insertionSort(ss)
+}
+
+// exhaustedKey marks strings that end strictly before word wordIdx.
+const exhaustedKey = uint64(0)
+
+// chunkKey derives a comparable key for word wordIdx of s.
+// Bit-reversing the chunk makes uint64 order agree with lexicographic
+// bit-0-first order; adding 1 (with exhausted = 0) makes shorter-prefix
+// strings sort before extensions. Keys may collide for strings that end
+// inside this word at different positions; the residual is resolved by
+// the final insertion/equal pass via Compare, which is cheap because
+// such bands are narrow in practice.
+func chunkKey(s String, wordIdx int) uint64 {
+	start := wordIdx * 64
+	if s.n <= start {
+		return exhaustedKey
+	}
+	w := bits.Reverse64(s.words[wordIdx])
+	// Saturate: strings ending inside the word still compare mostly right;
+	// ties broken later.
+	if w == ^uint64(0) {
+		w--
+	}
+	return w + 1
+}
+
+func sortEqualExhausted(ss []String) {
+	// All strings here end before the current word and share all earlier
+	// chunks; finish with comparison sort (they are near-identical).
+	insertionSort(ss)
+}
+
+func insertionSort(ss []String) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && Compare(ss[j], ss[j-1]) < 0; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

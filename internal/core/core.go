@@ -1,0 +1,331 @@
+// Package core implements PIM-trie (paper §4–5): a batch-parallel,
+// skew-resistant binary radix tree distributed over the PIM modules of a
+// pim.System.
+//
+// Layout. The data trie is decomposed into blocks of at most
+// Config.BlockWords words (§4.2) placed on uniformly random modules;
+// each block is a stand-alone compressed trie whose mirror leaves stand
+// in for the roots of its child blocks. The hash value manager (§4.4)
+// keeps one meta-node per block, grouped into regions (meta-blocks) of
+// at most Config.MetaBlockMax nodes, each region on a random module; a
+// master table mapping region-root hashes to region addresses is
+// replicated on every module.
+//
+// Matching (§4.3). A batch is turned into a query trie on the host; its
+// edges are chunked and pushed to random modules, which probe every bit
+// position against the replicated master table (Algorithm 4's role).
+// Each master hit assigns the query piece below it to one region, which
+// is then probed push-pull style for interior block-root hits
+// (Algorithm 5's role). Finally the pieces below the bottommost hits are
+// matched bit-by-bit against their blocks, again push-pull (Algorithm
+// 2). Every hash hit is verified by length and S_last before being
+// trusted (§4.4.3); a failed verification triggers a global re-hash and
+// a redo of the batch.
+//
+// Deviations from the paper are catalogued in DESIGN.md §5; the main one
+// is that every region root (not only meta-block-tree roots) is
+// registered in the replicated master table, which flattens the O(log P)
+// meta-descent into a constant number of rounds at the price of a master
+// table replica that is negligible at benchmark scales.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/hvm"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// Config holds the PIM-trie parameters (paper Table 2; defaults follow
+// DESIGN.md §4).
+type Config struct {
+	// BlockWords is K_B, the block size bound in words; at least
+	// trie.MinBlockWords. Zero selects max(32, log²P).
+	BlockWords int
+	// MetaBlockMax is K_MB, the region size bound in meta-nodes. Zero
+	// selects max(8, P).
+	MetaBlockMax int
+	// PullThreshold is the push/pull boundary in words for region and
+	// block matching. Zero selects 4·BlockWords (the paper's log⁴P scaled
+	// to our flattened descent).
+	PullThreshold int
+	// MasterChunkWords bounds the query-trie chunks of the master round.
+	// Zero selects max(64, batch/(P·log P)).
+	MasterChunkWords int
+	// HashSeed seeds the hash function; HashWidth ≤ 61 selects the output
+	// width in bits (narrow widths force collisions; tests only).
+	HashSeed  uint64
+	HashWidth uint
+	// PivotProbing enables the §4.4.2 optimized HashMatching for the
+	// region phase: probing one pivot class per w bits through each
+	// region's two-layer index instead of one hash lookup per bit,
+	// recovering interior hits from meta-tree ancestor chains. Results
+	// are identical; PIM work per region probe drops from O(bits) to
+	// O(bits/8 + classes·log w).
+	PivotProbing bool
+	// MaxRedo caps collision-triggered redo attempts per batch.
+	MaxRedo int
+}
+
+func (c Config) withDefaults(p int) Config {
+	lg := bits.Len(uint(p))
+	if c.BlockWords == 0 {
+		c.BlockWords = lg * lg
+	}
+	if c.BlockWords < trie.MinBlockWords {
+		c.BlockWords = trie.MinBlockWords
+	}
+	if c.MetaBlockMax == 0 {
+		c.MetaBlockMax = p
+	}
+	if c.MetaBlockMax < 8 {
+		c.MetaBlockMax = 8
+	}
+	if c.PullThreshold == 0 {
+		c.PullThreshold = 4 * c.BlockWords
+	}
+	if c.MasterChunkWords == 0 {
+		c.MasterChunkWords = 64
+	}
+	if c.MaxRedo == 0 {
+		c.MaxRedo = 20
+	}
+	return c
+}
+
+// metaInfo is the wire form of a meta-node: what hits carry back to the
+// host (a handful of words each).
+type metaInfo struct {
+	Hash   uint64
+	Len    int
+	SLast  bitstr.String
+	Block  pim.Addr
+	Region pim.Addr
+}
+
+const metaInfoWords = 6
+
+// masterEntry is one replicated master-table record.
+type masterEntry struct {
+	Region pim.Addr
+	Len    int
+	SLast  bitstr.String
+	Block  pim.Addr
+}
+
+// masterObj is the per-module master replica.
+type masterObj struct {
+	entries map[uint64]masterEntry
+}
+
+func (m *masterObj) SizeWords() int { return len(m.entries)*metaInfoWords + 1 }
+
+// blockObj is a module-resident data-trie block.
+type blockObj struct {
+	tr       *trie.Trie
+	rootLen  int           // bit length of the block root's full string
+	rootVal  hashing.Value // full-precision hash of the root string
+	rootHash uint64        // hash-out of the root string
+	sLast    bitstr.String
+	parent   pim.Addr   // parent block
+	children []pim.Addr // child blocks; mirror.Value indexes this slice
+	region   pim.Addr   // region holding this block's meta-node
+
+	// pendingNew temporarily records, during a block split, which
+	// children slots await addresses from the allocation round.
+	pendingNew []int
+}
+
+func (b *blockObj) SizeWords() int {
+	return b.tr.SizeWords() + 6 + len(b.children)
+}
+
+// regionObj wraps an hvm.Region as a module object.
+type regionObj struct {
+	r *hvm.Region
+}
+
+func (r *regionObj) SizeWords() int { return r.r.SizeWords() }
+
+// PIMTrie is the distributed index. Construct with New; not safe for
+// concurrent use (batches are the unit of parallelism, as in the paper).
+type PIMTrie struct {
+	sys *pim.System
+	cfg Config
+
+	h        *hashing.Hasher
+	hashSalt uint64
+
+	rootBlock   pim.Addr
+	master      map[uint64]masterEntry // host replica of the master table
+	masterAddrs []pim.Addr             // per-module masterObj addresses
+
+	nKeys     int
+	rehashes  int
+	redos     int
+	falseHits int
+}
+
+// New creates an empty PIM-trie on the given system.
+func New(sys *pim.System, cfg Config) *PIMTrie {
+	cfg = cfg.withDefaults(sys.P())
+	t := &PIMTrie{
+		sys:      sys,
+		cfg:      cfg,
+		h:        hashing.New(cfg.HashSeed, cfg.HashWidth),
+		hashSalt: cfg.HashSeed,
+		master:   map[uint64]masterEntry{},
+	}
+	// Install empty master replicas and the empty root block + region.
+	resp := sys.Broadcast(1, func(m *pim.Module) pim.Resp {
+		return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: map[uint64]masterEntry{}})}
+	})
+	t.masterAddrs = make([]pim.Addr, sys.P())
+	for i, r := range resp {
+		t.masterAddrs[i] = r.Value.(pim.Addr)
+	}
+	// Root block: the empty trie, always present, root string ε.
+	rootMod := sys.RandModule()
+	regMod := sys.RandModule()
+	rootHash := t.h.Out(hashing.EmptyValue())
+	rs := sys.Round([]pim.Task{
+		{Module: regMod, SendWords: hvm.NodeCostWords, Run: func(m *pim.Module) pim.Resp {
+			reg := hvm.NewRegion(&hvm.MetaNode{Hash: rootHash, Len: 0, SLast: bitstr.Empty})
+			return pim.Resp{RecvWords: 1, Value: m.Alloc(&regionObj{r: reg})}
+		}},
+	})
+	regAddr := rs[0].Value.(pim.Addr)
+	rs = sys.Round([]pim.Task{
+		{Module: rootMod, SendWords: 4, Run: func(m *pim.Module) pim.Resp {
+			b := &blockObj{tr: trie.New(), rootHash: rootHash, parent: pim.NilAddr, region: regAddr}
+			return pim.Resp{RecvWords: 1, Value: m.Alloc(b)}
+		}},
+	})
+	rootAddr := rs[0].Value.(pim.Addr)
+	sys.Round([]pim.Task{
+		{Module: regMod, SendWords: 1, Run: func(m *pim.Module) pim.Resp {
+			m.Get(regAddr.ID).(*regionObj).r.Root.Block = rootAddr
+			return pim.Resp{}
+		}},
+	})
+	t.rootBlock = rootAddr
+	t.master[rootHash] = masterEntry{Region: regAddr, Len: 0, SLast: bitstr.Empty, Block: rootAddr}
+	t.broadcastMaster()
+	return t
+}
+
+// System returns the underlying PIM system (for metric snapshots).
+func (t *PIMTrie) System() *pim.System { return t.sys }
+
+// Config returns the effective configuration.
+func (t *PIMTrie) Config() Config { return t.cfg }
+
+// KeyCount returns the number of stored keys.
+func (t *PIMTrie) KeyCount() int { return t.nKeys }
+
+// Rehashes returns how many global re-hashes have been triggered; Redos
+// returns how many batch redo passes collisions have caused; FalseHits
+// counts query-side hash false positives dropped by verification.
+func (t *PIMTrie) Rehashes() int  { return t.rehashes }
+func (t *PIMTrie) Redos() int     { return t.redos }
+func (t *PIMTrie) FalseHits() int { return t.falseHits }
+
+// broadcastMaster pushes the host master replica to every module. The
+// cost is the full table size; incremental updates use masterDelta.
+func (t *PIMTrie) broadcastMaster() {
+	entries := make(map[uint64]masterEntry, len(t.master))
+	for k, v := range t.master {
+		entries[k] = v
+	}
+	words := len(entries)*metaInfoWords + 1
+	addrs := t.masterAddrs
+	t.sys.Broadcast(words, func(m *pim.Module) pim.Resp {
+		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
+		mo.entries = make(map[uint64]masterEntry, len(entries))
+		for k, v := range entries {
+			mo.entries[k] = v
+		}
+		m.Resize(addrs[m.ID()].ID)
+		return pim.Resp{}
+	})
+}
+
+// masterRemoveAndAdd applies removals and additions to the replicated
+// master table in one broadcast round.
+func (t *PIMTrie) masterRemoveAndAdd(drop []uint64, add map[uint64]masterEntry) {
+	for _, h := range drop {
+		delete(t.master, h)
+	}
+	for k, v := range add {
+		t.master[k] = v
+	}
+	addrs := t.masterAddrs
+	t.sys.Broadcast(len(drop)+len(add)*metaInfoWords, func(m *pim.Module) pim.Resp {
+		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
+		for _, h := range drop {
+			delete(mo.entries, h)
+		}
+		for k, v := range add {
+			mo.entries[k] = v
+		}
+		m.Resize(addrs[m.ID()].ID)
+		return pim.Resp{}
+	})
+}
+
+// masterDelta broadcasts a set of added master entries.
+func (t *PIMTrie) masterDelta(add map[uint64]masterEntry) error {
+	for k, v := range add {
+		if old, dup := t.master[k]; dup && (old.Len != v.Len || !bitstr.Equal(old.SLast, v.SLast) || old.Block != v.Block) {
+			return hvm.ErrHashCollision{Hash: k}
+		}
+		t.master[k] = v
+	}
+	addrs := t.masterAddrs
+	t.sys.Broadcast(len(add)*metaInfoWords, func(m *pim.Module) pim.Resp {
+		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
+		for k, v := range add {
+			mo.entries[k] = v
+		}
+		m.Resize(addrs[m.ID()].ID)
+		return pim.Resp{}
+	})
+	return nil
+}
+
+// MasterEntries returns the size of the replicated master table.
+func (t *PIMTrie) MasterEntries() int { return len(t.master) }
+
+// Stats summarizes structural state for diagnostics and experiments.
+type Stats struct {
+	Keys       int
+	Blocks     int
+	Regions    int
+	SpaceWords int
+	Rehashes   int
+	Redos      int
+}
+
+// CollectStats walks all module memory (an unaccounted diagnostic pass).
+func (t *PIMTrie) CollectStats() Stats {
+	s := Stats{Keys: t.nKeys, Rehashes: t.rehashes, Redos: t.redos}
+	total, _ := t.sys.SpaceWords()
+	s.SpaceWords = total
+	for i := 0; i < t.sys.P(); i++ {
+		t.sys.Module(i).Each(func(o any) {
+			switch o.(type) {
+			case *blockObj:
+				s.Blocks++
+			case *regionObj:
+				s.Regions++
+			}
+		})
+	}
+	return s
+}
+
+var _ = fmt.Sprintf // referenced by other files in this package

@@ -1,0 +1,242 @@
+package core
+
+// Local trie matching: the bit-by-bit comparison between a query-trie
+// piece and a data block (the Match() of Algorithm 2, run on a PIM
+// module after a push or on the CPU after a pull). The query piece is
+// the query-trie subgraph below one verified hit position, truncated at
+// deeper hit positions; the hit guarantees the piece root's string
+// equals the block root's string, so the walk starts aligned at the two
+// roots and compares edge labels word-at-a-time.
+
+import (
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// qpos is a position in a trie: either exactly at a compressed node
+// (node != nil) or off bits down edge's label (0 < off < label length).
+// It canonicalizes edge endpoints to nodes via onEdge.
+type qpos struct {
+	node *trie.Node
+	edge *trie.Edge
+	off  int
+}
+
+func atNode(n *trie.Node) qpos { return qpos{node: n} }
+
+func onEdge(e *trie.Edge, off int) qpos {
+	switch {
+	case off == 0:
+		return qpos{node: e.From}
+	case off == e.Label.Len():
+		return qpos{node: e.To}
+	default:
+		return qpos{edge: e, off: off}
+	}
+}
+
+func (p qpos) depth() int {
+	if p.node != nil {
+		return p.node.Depth
+	}
+	return p.edge.From.Depth + p.off
+}
+
+// qposKey is a comparable identity for hit bookkeeping.
+type qposKey struct {
+	node *trie.Node
+	edge *trie.Edge
+	off  int
+}
+
+func (p qpos) key() qposKey { return qposKey{p.node, p.edge, p.off} }
+
+// exactHit records that a query node's string coincided with a data
+// compressed node.
+type exactHit struct {
+	hasValue bool
+	value    uint64
+	isMirror bool
+}
+
+// matchReport is the outcome of matching one piece against one block.
+// All depths are absolute (from the data-trie root), which makes host
+// merging a plain max.
+type matchReport struct {
+	// reach[n] = bits of n's root-path matched, for every query
+	// compressed node in the piece.
+	reach map[*trie.Node]int
+	// exact[n] is set when n's string coincided with a data node.
+	exact map[*trie.Node]exactHit
+	words int // wire size when fetched from a module
+}
+
+func (r *matchReport) setReach(n *trie.Node, d int) {
+	if old, ok := r.reach[n]; !ok || d > old {
+		r.reach[n] = d
+		r.words++
+	}
+}
+
+// merge folds o into r by max-reach; exact entries prefer real nodes
+// over mirrors (the deeper pair is authoritative at a block boundary).
+func (r *matchReport) merge(o *matchReport) {
+	for n, d := range o.reach {
+		r.setReach(n, d)
+	}
+	for n, e := range o.exact {
+		if old, ok := r.exact[n]; !ok || (old.isMirror && !e.isMirror) {
+			r.exact[n] = e
+		}
+	}
+}
+
+// matcher carries the walk state.
+type matcher struct {
+	rep   *matchReport
+	stop  map[qposKey]bool
+	work  func(int) // bit-operation accounting hook
+	block *trie.Trie
+}
+
+// matchPiece walks the query trie from start (whose represented string
+// equals the block root's string) against the block's local trie,
+// halting at the positions in stop. work receives word-granularity
+// operation counts so callers can charge PIM or CPU work.
+func matchPiece(start qpos, stop map[qposKey]bool, block *trie.Trie, work func(int)) *matchReport {
+	m := &matcher{
+		rep:   &matchReport{reach: map[*trie.Node]int{}, exact: map[*trie.Node]exactHit{}},
+		stop:  stop,
+		work:  work,
+		block: block,
+	}
+	droot := atNode(block.Root())
+	if start.node != nil {
+		m.record(start.node, droot)
+		m.fromNode(start.node, droot)
+	} else {
+		m.matchEdge(start.edge, start.off, droot)
+	}
+	return m.rep
+}
+
+// record notes that query node n matched fully, with the data side at d.
+func (m *matcher) record(n *trie.Node, d qpos) {
+	m.rep.setReach(n, n.Depth)
+	if d.node != nil {
+		m.rep.exact[n] = exactHit{hasValue: d.node.HasValue, value: d.node.Value, isMirror: d.node.Mirror}
+		m.rep.words++
+	}
+}
+
+// diverge assigns reach = depth to every query compressed node at or
+// below p (the match ended at absolute depth `depth` on p's path).
+func (m *matcher) diverge(p qpos, depth int) {
+	var n *trie.Node
+	if p.node != nil {
+		n = p.node
+	} else {
+		n = p.edge.To
+	}
+	var rec func(v *trie.Node)
+	rec = func(v *trie.Node) {
+		m.rep.setReach(v, depth)
+		for b := 0; b < 2; b++ {
+			if e := v.Child[b]; e != nil {
+				rec(e.To)
+			}
+		}
+	}
+	rec(n)
+}
+
+// fromNode continues the match below query node qn with the data side
+// aligned at d.
+func (m *matcher) fromNode(qn *trie.Node, d qpos) {
+	for b := 0; b < 2; b++ {
+		if e := qn.Child[b]; e != nil {
+			m.matchEdge(e, 0, d)
+		}
+	}
+}
+
+// nextStop returns the smallest stop offset on edge e strictly greater
+// than off (edge-end stops are keyed as the To node), or label length+1
+// if none.
+func (m *matcher) nextStop(e *trie.Edge, off int) int {
+	best := e.Label.Len() + 1
+	if len(m.stop) == 0 {
+		return best
+	}
+	for s := off + 1; s < e.Label.Len(); s++ {
+		if m.stop[(qpos{edge: e, off: s}).key()] {
+			return s
+		}
+	}
+	if m.stop[(qpos{node: e.To}).key()] {
+		return e.Label.Len()
+	}
+	return best
+}
+
+// matchEdge matches query edge qe from offset qoff onward against the
+// data side at position d (aligned with qe's position qoff).
+func (m *matcher) matchEdge(qe *trie.Edge, qoff int, d qpos) {
+	ql := qe.Label
+	for {
+		stopAt := m.nextStop(qe, qoff)
+		if qoff == ql.Len() {
+			// Query edge consumed: record its endpoint and continue below,
+			// unless a deeper pair owns the node.
+			m.record(qe.To, d)
+			if stopAt == ql.Len() || m.mirrorAt(d) {
+				return
+			}
+			m.fromNode(qe.To, d)
+			return
+		}
+		// Position the data side on an edge.
+		if d.node != nil {
+			if m.mirrorAt(d) {
+				// Continuing past a mirror belongs to the child block's
+				// pair; conservatively end here.
+				m.diverge(onEdge(qe, qoff), qe.From.Depth+qoff)
+				return
+			}
+			de := d.node.Child[ql.BitAt(qoff)]
+			if de == nil {
+				m.diverge(onEdge(qe, qoff), qe.From.Depth+qoff)
+				return
+			}
+			d = qpos{edge: de, off: 0}
+		}
+		dl := d.edge.Label
+		limit := ql.Len()
+		if stopAt < limit {
+			limit = stopAt
+		}
+		n := limit - qoff
+		if rem := dl.Len() - d.off; rem < n {
+			n = rem
+		}
+		l := bitstr.LCP(ql.Slice(qoff, qoff+n), dl.Slice(d.off, d.off+n))
+		m.work(n/bitstr.WordBits + 1)
+		qoff += l
+		d = onEdge(d.edge, d.off+l)
+		if l < n {
+			m.diverge(onEdge(qe, qoff), qe.From.Depth+qoff)
+			return
+		}
+		if qoff == stopAt && qoff < ql.Len() {
+			// Deeper hit mid-edge: its pair continues from here.
+			return
+		}
+		// Otherwise loop: either the query edge is consumed (handled at
+		// the top) or the data edge was consumed (d normalized to a node).
+	}
+}
+
+// mirrorAt reports whether d sits exactly on a mirror leaf.
+func (m *matcher) mirrorAt(d qpos) bool {
+	return d.node != nil && d.node.Mirror
+}

@@ -1,0 +1,553 @@
+package core
+
+// The distributed trie-matching protocol (Algorithms 2–5 adapted to the
+// flattened region scheme; see the package comment). One call to
+// (*PIMTrie).match runs, for a prepared query trie:
+//
+//	phase B — master round: query-trie chunks to random modules, every
+//	          bit position probed against the replicated master table;
+//	phase C — region round: pieces below master hits probed against
+//	          their region's index, push-pull by piece size;
+//	phase D — block round: pieces below the combined hits matched
+//	          bit-by-bit against their blocks, push-pull.
+//
+// Every hit is verified host-side by length and S_last before being
+// trusted (§4.4.3's differentiated verification: interior certification
+// comes from hashes + S_last; leaf-ward content from phase D's
+// bit-by-bit walk). A verification failure aborts the pass; the caller
+// re-hashes globally and redoes the batch.
+
+import (
+	"sort"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/hvm"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/querytrie"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// hitRec is one verified match position: a query-trie position whose
+// represented string equals a data block root's string.
+type hitRec struct {
+	pos   qpos
+	depth int
+	val   hashing.Value // full-precision hash of the position's string
+	info  metaInfo
+}
+
+// segment is a run of query-trie edge bits shipped for probing:
+// positions (off, end] of edge's label, with the hash value at off.
+// preBits (set only when pivot probing is on) carries the ≤w bits just
+// above the segment start, letting the probe reach the pivot boundary
+// below the start.
+type segment struct {
+	edge     *trie.Edge
+	off, end int
+	startVal hashing.Value
+	preBits  bitstr.String
+}
+
+func (s segment) words() int {
+	return (s.end-s.off)/bitstr.WordBits + 2 + s.preBits.Words()
+}
+
+// rawHit is a module-side hit before host verification.
+type rawHit struct {
+	edge *trie.Edge
+	off  int // 1..len; len means the To node
+	val  hashing.Value
+	info metaInfo
+}
+
+// probeSegments extends hash values bit-by-bit along each segment and
+// probes every position against lookup, reporting all hits. work is
+// charged one unit per probe plus one per 8 bits hashed (the byte-table
+// hashing cost of the unoptimized Algorithm 3; the pivot optimization of
+// §4.4.2 would reduce the probe count to one per w bits).
+func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaInfo, bool), work func(int)) []rawHit {
+	var hits []rawHit
+	for _, s := range segs {
+		v := s.startVal
+		l := s.edge.Label
+		for i := s.off; i < s.end; i++ {
+			v = h.ExtendBit(v, l.BitAt(i))
+			if info, ok := lookup(h.Out(v)); ok {
+				hits = append(hits, rawHit{edge: s.edge, off: i + 1, val: v, info: info})
+			}
+		}
+		work((s.end-s.off)/8 + (s.end - s.off) + 1)
+	}
+	return hits
+}
+
+// probeSegmentsPivot is the §4.4.2 optimized HashMatching for a region:
+// instead of probing every bit position, it probes one pivot class per w
+// bits (the region's two-layer index over S_rem remainders) and recovers
+// every interior hit from the candidate's meta-tree ancestor chain —
+// sound because all block roots on a path are meta ancestors of the
+// deepest one, and complete because any root in a probed window is an
+// ancestor of (or equal to) that window's max-LCP candidate. Chain nodes
+// are pre-verified against the local bit window, so emitted hits carry
+// the same confidence as per-bit probes.
+func probeSegmentsPivot(h *hashing.Hasher, segs []segment, reg *hvm.Region, regAddr pim.Addr, work func(int)) []rawHit {
+	const w = bitstr.WordBits
+	var hits []rawHit
+	for _, s := range segs {
+		d0 := s.edge.From.Depth + s.off
+		dEnd := s.edge.From.Depth + s.end
+		window := s.preBits.Concat(s.edge.Label.Slice(s.off, s.end))
+		base := d0 - s.preBits.Len()
+		valAt := func(depth int) hashing.Value {
+			if depth >= d0 {
+				return h.Extend(s.startVal, window.Slice(d0-base, depth-base))
+			}
+			return h.Shrink(s.startVal, window.Slice(depth-base, d0-base))
+		}
+		seen := map[int]bool{}
+		ops := 0
+		emitChain := func(meta *hvm.MetaNode) {
+			for n := meta; n != nil; n = n.Parent {
+				if n.Len > dEnd {
+					continue
+				}
+				if n.Len <= d0 {
+					break
+				}
+				if seen[n.Len] {
+					continue
+				}
+				seen[n.Len] = true
+				ops++
+				// Local pre-verification: the root's S_last must equal the
+				// window bits just above its depth.
+				lo := n.Len - n.SLast.Len()
+				if lo < base || !bitstr.Equal(window.Slice(lo-base, n.Len-base), n.SLast) {
+					continue
+				}
+				hits = append(hits, rawHit{
+					edge: s.edge, off: n.Len - s.edge.From.Depth,
+					val:  valAt(n.Len),
+					info: metaInfo{Hash: n.Hash, Len: n.Len, SLast: n.SLast, Block: n.Block, Region: regAddr},
+				})
+			}
+		}
+		classes := 0
+		for b := d0 / w * w; b <= dEnd; b += w {
+			if b < base {
+				continue
+			}
+			classes++
+			pv := valAt(b)
+			sremEnd := b + w - 1
+			if sremEnd > dEnd {
+				sremEnd = dEnd
+			}
+			srem := window.Slice(b-base, sremEnd-base)
+			if cand, ok := reg.LookupPivot(h.Out(pv), srem); ok {
+				emitChain(cand)
+			}
+		}
+		work((s.end-s.off)/8 + classes*8 + ops)
+	}
+	return hits
+}
+
+// regionProbe dispatches on the configured probing strategy.
+func (t *PIMTrie) regionProbe(segs []segment, reg *hvm.Region, regAddr pim.Addr, work func(int)) []rawHit {
+	if t.cfg.PivotProbing {
+		return probeSegmentsPivot(t.h, segs, reg, regAddr, work)
+	}
+	return probeSegments(t.h, segs, func(h uint64) (metaInfo, bool) {
+		n := reg.Lookup(h)
+		if n == nil {
+			return metaInfo{}, false
+		}
+		return metaInfo{Hash: h, Len: n.Len, SLast: n.SLast, Block: n.Block, Region: regAddr}, true
+	}, work)
+}
+
+// prep is the host-side preparation of one batch (phase A).
+type prep struct {
+	qt     *querytrie.QueryTrie
+	hashes map[*trie.Node]hashing.Value
+}
+
+func (t *PIMTrie) prepare(batch []bitstr.String) *prep {
+	qt := querytrie.Build(batch)
+	// Bound edge sizes so chunks and pieces stay shippable.
+	qt.Trie.SplitLongEdges(t.cfg.MasterChunkWords * bitstr.WordBits)
+	t.sys.CPUWork(qt.SizeWords())
+	return &prep{qt: qt, hashes: qt.NodeHashes(t.h)}
+}
+
+// matchOutcome is the merged result of one successful matching pass.
+type matchOutcome struct {
+	qt    *querytrie.QueryTrie
+	reach map[*trie.Node]int
+	exact map[*trie.Node]exactHit
+	// anchorPiece[n] is the piece (bottommost hit) owning query node n.
+	anchorPiece map[*trie.Node]*piece
+	pieces      []*piece
+}
+
+// lcpOf returns the LCP length for unique key i.
+func (o *matchOutcome) lcpOf(i int) int {
+	if d, ok := o.reach[o.qt.Nodes[i]]; ok {
+		return d
+	}
+	return 0
+}
+
+// match runs phases B–D for a prepared batch.
+func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
+	// ----- Phase B: master matching -----------------------------------
+	chunks := t.chunkEdges(p)
+	rootVal := hashing.EmptyValue()
+	rootHit := hitRec{
+		pos: atNode(p.qt.Trie.Root()), depth: 0, val: rootVal,
+		info: t.masterInfo(t.h.Out(rootVal)),
+	}
+	tasks := make([]pim.Task, len(chunks))
+	for i, ch := range chunks {
+		ch := ch
+		words := 0
+		for _, s := range ch {
+			words += s.words()
+		}
+		addrs := t.masterAddrs
+		tasks[i] = pim.Task{
+			Module:    t.sys.RandModule(),
+			SendWords: words,
+			Run: func(m *pim.Module) pim.Resp {
+				mo := m.Get(addrs[m.ID()].ID).(*masterObj)
+				hits := probeSegments(t.h, ch, func(h uint64) (metaInfo, bool) {
+					e, ok := mo.entries[h]
+					if !ok {
+						return metaInfo{}, false
+					}
+					return metaInfo{Hash: h, Len: e.Len, SLast: e.SLast, Block: e.Block, Region: e.Region}, true
+				}, m.Work)
+				return pim.Resp{RecvWords: len(hits)*metaInfoWords + 1, Value: hits}
+			},
+		}
+	}
+	masterHits := []hitRec{rootHit}
+	for _, r := range t.sys.Round(tasks) {
+		for _, rh := range r.Value.([]rawHit) {
+			if h := t.verifyHit(rh); h != nil {
+				masterHits = append(masterHits, *h)
+			}
+		}
+	}
+	masterHits = dedupeHits(masterHits)
+
+	// ----- Phase C: region matching ------------------------------------
+	masterPieces := decompose(p, masterHits, t.cfg.PivotProbing)
+	var cTasks []pim.Task
+	type cKind struct {
+		pc   *piece
+		pull bool
+	}
+	var cKinds []cKind
+	pulledRegion := map[pim.Addr]int{} // region -> task index of its fetch
+	for _, pc := range masterPieces {
+		if pc.words == 0 {
+			continue
+		}
+		pc := pc
+		regAddr := pc.hit.info.Region
+		if pc.words <= t.cfg.PullThreshold {
+			cKinds = append(cKinds, cKind{pc: pc})
+			cTasks = append(cTasks, pim.Task{
+				Module:    regAddr.Module,
+				SendWords: pc.words + 2,
+				Run: func(m *pim.Module) pim.Resp {
+					reg := m.Get(regAddr.ID).(*regionObj).r
+					hits := t.regionProbe(pc.segs, reg, regAddr, m.Work)
+					return pim.Resp{RecvWords: len(hits)*metaInfoWords + 1, Value: hits}
+				},
+			})
+			continue
+		}
+		cKinds = append(cKinds, cKind{pc: pc, pull: true})
+		if _, done := pulledRegion[regAddr]; !done {
+			pulledRegion[regAddr] = len(cTasks)
+			cTasks = append(cTasks, pim.Task{
+				Module:    regAddr.Module,
+				SendWords: 1,
+				Run: func(m *pim.Module) pim.Resp {
+					ro := m.Get(regAddr.ID).(*regionObj)
+					return pim.Resp{RecvWords: ro.SizeWords(), Value: ro}
+				},
+			})
+		} else {
+			cKinds[len(cKinds)-1].pull = true
+		}
+	}
+	cResps := t.sys.Round(cTasks)
+	var regionHits []hitRec
+	respIdx := 0
+	for _, k := range cKinds {
+		regAddr := k.pc.hit.info.Region
+		var hits []rawHit
+		if !k.pull {
+			hits = cResps[respIdx].Value.([]rawHit)
+			respIdx++
+		} else {
+			if ti, ok := pulledRegion[regAddr]; ok && ti == respIdx {
+				respIdx++ // consume the fetch response slot
+			}
+			ro := cResps[pulledRegion[regAddr]].Value.(*regionObj)
+			cpu := 0
+			hits = t.regionProbe(k.pc.segs, ro.r, regAddr, func(w int) { cpu += w })
+			t.sys.CPUWork(cpu)
+		}
+		for _, rh := range hits {
+			if h := t.verifyHit(rh); h != nil {
+				regionHits = append(regionHits, *h)
+			}
+		}
+	}
+
+	// ----- Phase D: block matching -------------------------------------
+	allHits := dedupeHits(append(masterHits, regionHits...))
+	pieces := decompose(p, allHits, false)
+	out := &matchOutcome{
+		qt:          p.qt,
+		reach:       map[*trie.Node]int{},
+		exact:       map[*trie.Node]exactHit{},
+		anchorPiece: map[*trie.Node]*piece{},
+		pieces:      pieces,
+	}
+	merged := &matchReport{reach: out.reach, exact: out.exact}
+	dTasks := make([]pim.Task, len(pieces))
+	for i, pc := range pieces {
+		pc := pc
+		for _, n := range pc.nodes {
+			out.anchorPiece[n] = pc
+		}
+		blk := pc.hit.info.Block
+		if pc.words <= t.cfg.PullThreshold {
+			dTasks[i] = pim.Task{
+				Module:    blk.Module,
+				SendWords: pc.words + 2,
+				Run: func(m *pim.Module) pim.Resp {
+					bo := m.Get(blk.ID).(*blockObj)
+					rep := matchPiece(pc.root, pc.childKeys, bo.tr, m.Work)
+					return pim.Resp{RecvWords: rep.words + 1, Value: rep}
+				},
+			}
+		} else {
+			dTasks[i] = pim.Task{
+				Module:    blk.Module,
+				SendWords: 1,
+				Run: func(m *pim.Module) pim.Resp {
+					bo := m.Get(blk.ID).(*blockObj)
+					return pim.Resp{RecvWords: bo.SizeWords(), Value: bo}
+				},
+			}
+		}
+	}
+	for i, r := range t.sys.Round(dTasks) {
+		switch v := r.Value.(type) {
+		case *matchReport:
+			merged.merge(v)
+		case *blockObj:
+			cpu := 0
+			rep := matchPiece(pieces[i].root, pieces[i].childKeys, v.tr, func(w int) { cpu += w })
+			t.sys.CPUWork(cpu)
+			merged.merge(rep)
+		}
+	}
+	return out, nil
+}
+
+// masterInfo builds the metaInfo for a known master entry.
+func (t *PIMTrie) masterInfo(h uint64) metaInfo {
+	e := t.master[h]
+	return metaInfo{Hash: h, Len: e.Len, SLast: e.SLast, Block: e.Block, Region: e.Region}
+}
+
+// verifyHit applies §4.4.3's verification to a raw hit: the claimed
+// block-root length must equal the position depth and S_last must equal
+// the query bits just above the position. A mismatch means the hash
+// collided on the query side; the hit is a false positive and is dropped
+// ("rectify the partitioning" in the paper's terms). True matches are
+// never dropped: equal strings verify trivially. Data-side collisions
+// (two block roots sharing a hash) are detected separately at index
+// build time and trigger the global re-hash.
+func (t *PIMTrie) verifyHit(rh rawHit) *hitRec {
+	depth := rh.edge.From.Depth + rh.off
+	t.sys.CPUWork(2)
+	if rh.info.Len != depth {
+		t.falseHits++
+		return nil
+	}
+	win := suffixWindow(rh.edge, rh.off, bitstr.WordBits)
+	if !bitstr.Equal(win, rh.info.SLast) {
+		t.falseHits++
+		return nil
+	}
+	return &hitRec{pos: onEdge(rh.edge, rh.off), depth: depth, val: rh.val, info: rh.info}
+}
+
+// suffixWindow reconstructs the last min(depth, w) bits of the string
+// represented by the position off bits down edge e, walking up parent
+// edges as needed (O(w) work).
+func suffixWindow(e *trie.Edge, off int, w int) bitstr.String {
+	out := e.Label.Prefix(off)
+	cur := e.From
+	for out.Len() < w && cur.ParentEdge != nil {
+		out = cur.ParentEdge.Label.Concat(out)
+		cur = cur.ParentEdge.From
+	}
+	if out.Len() > w {
+		out = out.Suffix(out.Len() - w)
+	}
+	return out
+}
+
+// dedupeHits removes duplicate positions (e.g. a region root seen by
+// both the master table and its own region index), keeping the first.
+func dedupeHits(hits []hitRec) []hitRec {
+	seen := map[qposKey]bool{}
+	out := hits[:0]
+	for _, h := range hits {
+		k := h.pos.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// chunkEdges splits the query trie's edges into chunks of bounded words
+// for the master round.
+func (t *PIMTrie) chunkEdges(p *prep) [][]segment {
+	var chunks [][]segment
+	var cur []segment
+	words := 0
+	p.qt.Trie.WalkPreorder(func(n *trie.Node) bool {
+		for b := 0; b < 2; b++ {
+			if e := n.Child[b]; e != nil {
+				s := segment{edge: e, off: 0, end: e.Label.Len(), startVal: p.hashes[n]}
+				cur = append(cur, s)
+				words += s.words()
+				if words >= t.cfg.MasterChunkWords {
+					chunks = append(chunks, cur)
+					cur, words = nil, 0
+				}
+			}
+		}
+		return true
+	})
+	if len(cur) > 0 {
+		chunks = append(chunks, cur)
+	}
+	return chunks
+}
+
+// piece is the query-trie region below one hit, truncated at deeper
+// hits: the unit of region probing and block matching.
+type piece struct {
+	hit       hitRec
+	root      qpos
+	segs      []segment
+	words     int
+	childKeys map[qposKey]bool
+	nodes     []*trie.Node // compressed nodes owned by this piece
+}
+
+// decompose partitions the query trie by the hit positions: every
+// position belongs to the piece of the nearest hit at or above it. The
+// hits must include the root hit. With withPre, every segment carries
+// the ≤w bits above its start (needed by pivot probing).
+func decompose(p *prep, hits []hitRec, withPre bool) []*piece {
+	byEdge := map[*trie.Edge][]int{}
+	var rootPiece *piece
+	pieceOf := make([]*piece, len(hits))
+	for i, h := range hits {
+		if h.pos.node != nil && h.pos.node.Parent == nil {
+			rootPiece = &piece{hit: h, root: h.pos, childKeys: map[qposKey]bool{}}
+			pieceOf[i] = rootPiece
+			continue
+		}
+		var e *trie.Edge
+		if h.pos.node != nil {
+			e = h.pos.node.ParentEdge
+		} else {
+			e = h.pos.edge
+		}
+		byEdge[e] = append(byEdge[e], i)
+	}
+	if rootPiece == nil {
+		panic("core: decompose without a root hit")
+	}
+	for e, idxs := range byEdge {
+		sort.Slice(idxs, func(a, b int) bool {
+			return hitOff(hits[idxs[a]], e) < hitOff(hits[idxs[b]], e)
+		})
+		byEdge[e] = idxs
+	}
+	var rec func(n *trie.Node, cur *piece)
+	rec = func(n *trie.Node, cur *piece) {
+		cur.nodes = append(cur.nodes, n)
+		for b := 0; b < 2; b++ {
+			e := n.Child[b]
+			if e == nil {
+				continue
+			}
+			from := 0
+			fromVal := p.hashes[n]
+			edgePiece := cur
+			for _, hi := range byEdge[e] {
+				off := hitOff(hits[hi], e)
+				if off > from {
+					edgePiece.addSeg(mkSeg(e, from, off, fromVal, withPre))
+				}
+				edgePiece.childKeys[onEdge(e, off).key()] = true
+				np := &piece{hit: hits[hi], root: onEdge(e, off), childKeys: map[qposKey]bool{}}
+				pieceOf[hi] = np
+				edgePiece = np
+				from = off
+				fromVal = hits[hi].val
+			}
+			if from < e.Label.Len() {
+				edgePiece.addSeg(mkSeg(e, from, e.Label.Len(), fromVal, withPre))
+			}
+			rec(e.To, edgePiece)
+		}
+	}
+	rec(p.qt.Trie.Root(), rootPiece)
+	out := make([]*piece, 0, len(hits))
+	for _, pc := range pieceOf {
+		if pc != nil {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// mkSeg builds a segment, attaching the pre-window when requested.
+func mkSeg(e *trie.Edge, from, end int, fromVal hashing.Value, withPre bool) segment {
+	s := segment{edge: e, off: from, end: end, startVal: fromVal}
+	if withPre {
+		s.preBits = suffixWindow(e, from, bitstr.WordBits)
+	}
+	return s
+}
+
+func (pc *piece) addSeg(s segment) {
+	pc.segs = append(pc.segs, s)
+	pc.words += s.words()
+}
+
+func hitOff(h hitRec, e *trie.Edge) int {
+	if h.pos.node != nil {
+		return e.Label.Len()
+	}
+	return h.pos.off
+}

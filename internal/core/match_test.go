@@ -1,0 +1,285 @@
+package core
+
+// White-box tests of the matching machinery: piece decomposition,
+// local matching, suffix windows and chunking.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/querytrie"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+func prepFor(t *PIMTrie, batch []bitstr.String) *prep {
+	return t.prepare(batch)
+}
+
+func findEdgePos(qt *querytrie.QueryTrie, s bitstr.String) qpos {
+	// Locate the position representing string s in the query trie.
+	n := qt.Trie.Root()
+	pos := 0
+	for pos < s.Len() {
+		e := n.Child[s.BitAt(pos)]
+		if e == nil {
+			panic("findEdgePos: string not on trie")
+		}
+		l := bitstr.LCP(e.Label, s.Suffix(pos))
+		if pos+l == s.Len() {
+			return onEdge(e, l)
+		}
+		if l < e.Label.Len() {
+			panic("findEdgePos: string diverges")
+		}
+		pos += l
+		n = e.To
+	}
+	return atNode(n)
+}
+
+func TestDecomposeSinglePiece(t *testing.T) {
+	pt, _ := newTestTrie(2, Config{})
+	p := prepFor(pt, []bitstr.String{
+		bitstr.MustParse("0101"),
+		bitstr.MustParse("0110"),
+		bitstr.MustParse("111"),
+	})
+	root := hitRec{pos: atNode(p.qt.Trie.Root()), info: t2meta(pt)}
+	pieces := decompose(p, []hitRec{root}, false)
+	if len(pieces) != 1 {
+		t.Fatalf("pieces = %d", len(pieces))
+	}
+	pc := pieces[0]
+	// The single piece owns every compressed node and every edge bit.
+	if len(pc.nodes) != p.qt.Trie.NodeCount() {
+		t.Fatalf("piece owns %d of %d nodes", len(pc.nodes), p.qt.Trie.NodeCount())
+	}
+	bits := 0
+	for _, s := range pc.segs {
+		bits += s.end - s.off
+	}
+	if bits != p.qt.Trie.EdgeBits() {
+		t.Fatalf("piece covers %d of %d bits", bits, p.qt.Trie.EdgeBits())
+	}
+	if len(pc.childKeys) != 0 {
+		t.Fatalf("unexpected stops: %v", pc.childKeys)
+	}
+}
+
+func t2meta(pt *PIMTrie) metaInfo {
+	return pt.masterInfo(pt.h.Out(hashing.EmptyValue()))
+}
+
+func TestDecomposeMidEdgeHit(t *testing.T) {
+	pt, _ := newTestTrie(2, Config{})
+	p := prepFor(pt, []bitstr.String{bitstr.MustParse("00001111")})
+	root := hitRec{pos: atNode(p.qt.Trie.Root()), info: t2meta(pt)}
+	// A hit 3 bits down the single edge.
+	hitPos := findEdgePos(p.qt, bitstr.MustParse("000"))
+	mid := hitRec{pos: hitPos, depth: 3, val: pt.h.Hash(bitstr.MustParse("000")), info: t2meta(pt)}
+	pieces := decompose(p, []hitRec{root, mid}, false)
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %d", len(pieces))
+	}
+	var rootPiece, midPiece *piece
+	for _, pc := range pieces {
+		if pc.hit.depth == 0 {
+			rootPiece = pc
+		} else {
+			midPiece = pc
+		}
+	}
+	// Root piece covers bits (0,3], stops at the hit; mid piece covers
+	// (3,8] and owns the leaf node.
+	bitsOf := func(pc *piece) int {
+		n := 0
+		for _, s := range pc.segs {
+			n += s.end - s.off
+		}
+		return n
+	}
+	if bitsOf(rootPiece) != 3 || bitsOf(midPiece) != 5 {
+		t.Fatalf("bit split %d/%d, want 3/5", bitsOf(rootPiece), bitsOf(midPiece))
+	}
+	if len(rootPiece.childKeys) != 1 {
+		t.Fatalf("root piece stops: %v", rootPiece.childKeys)
+	}
+	if len(midPiece.nodes) != 1 {
+		t.Fatalf("mid piece owns %d nodes", len(midPiece.nodes))
+	}
+	// Segment hash values must be consistent: probing the mid piece from
+	// its startVal reproduces the full-string hashes.
+	seg := midPiece.segs[0]
+	v := seg.startVal
+	for i := seg.off; i < seg.end; i++ {
+		v = pt.h.ExtendBit(v, seg.edge.Label.BitAt(i))
+	}
+	if v != pt.h.Hash(bitstr.MustParse("00001111")) {
+		t.Fatal("segment startVal chain broken")
+	}
+}
+
+func TestMatchPieceExactAndDivergence(t *testing.T) {
+	// Data block: keys 0101, 0110 relative to its root.
+	block := trie.New()
+	block.Insert(bitstr.MustParse("0101"), 7)
+	block.Insert(bitstr.MustParse("0110"), 8)
+	// Query trie: one key equal to a stored key, one diverging mid-edge.
+	qt := querytrie.Build([]bitstr.String{
+		bitstr.MustParse("0101"),
+		bitstr.MustParse("0111"),
+	})
+	rep := matchPiece(atNode(qt.Trie.Root()), nil, block, func(int) {})
+	n0 := qt.Nodes[0] // "0101"
+	n1 := qt.Nodes[1] // "0111"
+	if rep.reach[n0] != 4 {
+		t.Fatalf("reach(0101) = %d", rep.reach[n0])
+	}
+	if ex, ok := rep.exact[n0]; !ok || !ex.hasValue || ex.value != 7 {
+		t.Fatalf("exact(0101) = %+v, %v", rep.exact[n0], ok)
+	}
+	// "0111" shares "011" with "0110": reach 3, no exact hit.
+	if rep.reach[n1] != 3 {
+		t.Fatalf("reach(0111) = %d", rep.reach[n1])
+	}
+	if ex, ok := rep.exact[n1]; ok && ex.hasValue {
+		t.Fatalf("unexpected exact for 0111: %+v", ex)
+	}
+}
+
+func TestMatchPieceStopsAtMirror(t *testing.T) {
+	block := trie.New()
+	block.Insert(bitstr.MustParse("0011"), 1)
+	// Turn the leaf into a mirror (child block root replica).
+	var leaf *trie.Node
+	block.WalkPreorder(func(n *trie.Node) bool {
+		if n.HasValue {
+			leaf = n
+		}
+		return true
+	})
+	leaf.HasValue = false
+	leaf.Mirror = true
+
+	qt := querytrie.Build([]bitstr.String{bitstr.MustParse("001100")})
+	rep := matchPiece(atNode(qt.Trie.Root()), nil, block, func(int) {})
+	// The walk must stop at the mirror: reach = 4 (conservative; a deeper
+	// pair owns the continuation), never beyond.
+	if got := rep.reach[qt.Nodes[0]]; got != 4 {
+		t.Fatalf("reach through mirror = %d, want 4", got)
+	}
+	if ex := rep.exact[qt.Nodes[0]]; ex.hasValue {
+		t.Fatal("mirror reported a value")
+	}
+}
+
+func TestMatchPieceRespectsStops(t *testing.T) {
+	block := trie.New()
+	block.Insert(bitstr.MustParse("000111"), 9)
+	qt := querytrie.Build([]bitstr.String{bitstr.MustParse("000111")})
+	// Stop 2 bits down the (single) query edge.
+	stopPos := findEdgePos(qt, bitstr.MustParse("00"))
+	stops := map[qposKey]bool{stopPos.key(): true}
+	rep := matchPiece(atNode(qt.Trie.Root()), stops, block, func(int) {})
+	// The piece must not claim anything past the stop: the leaf gets no
+	// reach entry from this pair (the deeper pair owns it) or at most the
+	// stop depth.
+	if d, ok := rep.reach[qt.Nodes[0]]; ok && d > 2 {
+		t.Fatalf("piece crossed its stop: reach %d", d)
+	}
+}
+
+func TestSuffixWindow(t *testing.T) {
+	tr := trie.New()
+	long := bitstr.MustParse("0101010101" + "1100110011" + "0000111100")
+	tr.Insert(long, 1)
+	tr.Insert(bitstr.MustParse("01010"), 2) // forces a branch at depth 5
+	// Find the edge below the node at depth 5 and take a window there.
+	var e *trie.Edge
+	tr.WalkPreorder(func(n *trie.Node) bool {
+		if n.Depth == 5 {
+			for b := 0; b < 2; b++ {
+				if c := n.Child[b]; c != nil && c.Label.Len() > 10 {
+					e = c
+				}
+			}
+		}
+		return true
+	})
+	if e == nil {
+		t.Fatal("test setup: edge not found")
+	}
+	for _, off := range []int{1, 5, e.Label.Len()} {
+		depth := e.From.Depth + off
+		win := suffixWindow(e, off, 8)
+		wantLen := 8
+		if depth < 8 {
+			wantLen = depth
+		}
+		if win.Len() != wantLen {
+			t.Fatalf("window length %d at depth %d", win.Len(), depth)
+		}
+		want := long.Prefix(depth)
+		want = want.Suffix(want.Len() - wantLen)
+		if !bitstr.Equal(win, want) {
+			t.Fatalf("window at depth %d = %q, want %q", depth, win, want)
+		}
+	}
+}
+
+func TestChunkEdgesCoverEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pt, _ := newTestTrie(2, Config{MasterChunkWords: 16})
+	batch := make([]bitstr.String, 200)
+	for i := range batch {
+		batch[i] = randomKey(r, 200)
+	}
+	p := prepFor(pt, batch)
+	chunks := pt.chunkEdges(p)
+	seen := map[*trie.Edge]bool{}
+	totalBits := 0
+	for _, ch := range chunks {
+		w := 0
+		for _, s := range ch {
+			if seen[s.edge] {
+				t.Fatal("edge chunked twice")
+			}
+			seen[s.edge] = true
+			totalBits += s.end - s.off
+			w += s.words()
+			if s.startVal != p.hashes[s.edge.From] {
+				t.Fatal("segment startVal mismatch")
+			}
+		}
+		// Chunks respect the bound up to one oversized tail edge.
+		if w > 2*pt.cfg.MasterChunkWords+4 {
+			t.Fatalf("chunk of %d words (bound %d)", w, pt.cfg.MasterChunkWords)
+		}
+	}
+	if totalBits != p.qt.Trie.EdgeBits() {
+		t.Fatalf("chunks cover %d of %d bits", totalBits, p.qt.Trie.EdgeBits())
+	}
+}
+
+func TestDedupeHits(t *testing.T) {
+	tr := trie.New()
+	tr.Insert(bitstr.MustParse("0101"), 1)
+	var e *trie.Edge
+	tr.WalkPreorder(func(n *trie.Node) bool {
+		for b := 0; b < 2; b++ {
+			if c := n.Child[b]; c != nil {
+				e = c
+			}
+		}
+		return true
+	})
+	h1 := hitRec{pos: onEdge(e, 2), depth: 2}
+	h2 := hitRec{pos: onEdge(e, 2), depth: 2}
+	h3 := hitRec{pos: onEdge(e, 3), depth: 3}
+	out := dedupeHits([]hitRec{h1, h2, h3})
+	if len(out) != 2 {
+		t.Fatalf("dedupe kept %d", len(out))
+	}
+}

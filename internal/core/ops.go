@@ -1,0 +1,379 @@
+package core
+
+// The four batch operations of §5: LongestCommonPrefix, Insert, Delete
+// and SubtreeQuery. Each prepares a query trie, runs the matching
+// protocol (with the collision-redo loop of §4.4.3), and post-processes
+// the merged match outcome.
+
+import (
+	"fmt"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// matchWithRedo runs the matching protocol, re-hashing and redoing the
+// batch whenever verification detects a hash collision.
+func (t *PIMTrie) matchWithRedo(batch []bitstr.String) *matchOutcome {
+	for attempt := 0; attempt <= t.cfg.MaxRedo; attempt++ {
+		p := t.prepare(batch)
+		out, err := t.match(p)
+		if err == nil {
+			return out
+		}
+		t.redos++
+		t.rehash()
+	}
+	panic("core: exceeded MaxRedo matching attempts; widen HashWidth")
+}
+
+// LCP answers a batch of LongestCommonPrefix queries (§5.1): result[i]
+// is the length in bits of the longest prefix of batch[i] present in the
+// index (as a prefix of any stored key).
+func (t *PIMTrie) LCP(batch []bitstr.String) []int {
+	if len(batch) == 0 {
+		return nil
+	}
+	out := t.matchWithRedo(batch)
+	res := make([]int, len(batch))
+	for i := range batch {
+		res[i] = out.lcpOf(out.qt.Slot[i])
+	}
+	return res
+}
+
+// Get answers a batch of exact lookups: values[i], found[i] reflect
+// batch[i]. Get is LCP plus the exact-node value check, provided because
+// every practical index needs point lookups.
+func (t *PIMTrie) Get(batch []bitstr.String) (values []uint64, found []bool) {
+	values = make([]uint64, len(batch))
+	found = make([]bool, len(batch))
+	if len(batch) == 0 {
+		return
+	}
+	out := t.matchWithRedo(batch)
+	for i := range batch {
+		u := out.qt.Slot[i]
+		n := out.qt.Nodes[u]
+		if out.reach[n] == n.Depth {
+			if ex, ok := out.exact[n]; ok && ex.hasValue {
+				values[i], found[i] = ex.value, true
+			}
+		}
+	}
+	return
+}
+
+// Insert stores a batch of key-value pairs (§5.2). Later duplicates in
+// the batch win, matching sequential insertion semantics.
+func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
+	if len(keys) != len(values) {
+		panic("core: Insert keys/values length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	out := t.matchWithRedo(keys)
+	// Resolve batch duplicates: last write wins.
+	val := make([]uint64, len(out.qt.Keys))
+	for i := range keys {
+		val[out.qt.Slot[i]] = values[i]
+	}
+	// Group keys by anchor block: each key is inserted into the block of
+	// its bottommost verified hit, as the remainder relative to that
+	// block's root.
+	type ins struct {
+		rel   bitstr.String
+		value uint64
+	}
+	groups := map[pim.Addr][]ins{}
+	words := map[pim.Addr]int{}
+	for u, k := range out.qt.Keys {
+		pc := out.anchorPiece[out.qt.Nodes[u]]
+		if pc == nil {
+			panic("core: key without an anchor piece")
+		}
+		blk := pc.hit.info.Block
+		rel := k.Suffix(pc.hit.depth)
+		groups[blk] = append(groups[blk], ins{rel: rel, value: val[u]})
+		// Shared prefixes below the anchor travel once in the real
+		// protocol; charge the unmatched remainder, which dominates.
+		words[blk] += rel.Words() + 2
+	}
+	type insReply struct {
+		newKeys   int
+		sizeWords int
+		region    pim.Addr
+		keyCount  int
+	}
+	tasks := make([]pim.Task, 0, len(groups))
+	addrs := make([]pim.Addr, 0, len(groups))
+	for blk, g := range groups {
+		blk, g := blk, g
+		tasks = append(tasks, pim.Task{
+			Module:    blk.Module,
+			SendWords: words[blk],
+			Run: func(m *pim.Module) pim.Resp {
+				bo := m.Get(blk.ID).(*blockObj)
+				fresh := 0
+				work := 0
+				for _, in := range g {
+					if bo.tr.Insert(in.rel, in.value) {
+						fresh++
+					}
+					work += in.rel.Words() + 1
+				}
+				m.Work(work)
+				m.Resize(blk.ID)
+				return pim.Resp{RecvWords: 4, Value: insReply{
+					newKeys: fresh, sizeWords: bo.tr.SizeWords(), region: bo.region, keyCount: bo.tr.KeyCount(),
+				}}
+			},
+		})
+		addrs = append(addrs, blk)
+	}
+	var oversized []pim.Addr
+	for i, r := range t.sys.Round(tasks) {
+		rep := r.Value.(insReply)
+		t.nKeys += rep.newKeys
+		if rep.sizeWords > t.cfg.BlockWords {
+			oversized = append(oversized, addrs[i])
+		}
+	}
+	if len(oversized) > 0 {
+		t.splitBlocks(oversized)
+	}
+}
+
+// Delete removes a batch of keys (§5.2), reporting per key whether it
+// was present.
+func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
+	res := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return res
+	}
+	out := t.matchWithRedo(keys)
+	type del struct {
+		rel bitstr.String
+		u   int
+	}
+	groups := map[pim.Addr][]del{}
+	words := map[pim.Addr]int{}
+	present := make([]bool, len(out.qt.Keys))
+	for u, k := range out.qt.Keys {
+		n := out.qt.Nodes[u]
+		if out.reach[n] != n.Depth {
+			continue
+		}
+		ex, ok := out.exact[n]
+		if !ok || !ex.hasValue {
+			continue
+		}
+		present[u] = true
+		pc := out.anchorPiece[n]
+		blk := pc.hit.info.Block
+		groups[blk] = append(groups[blk], del{rel: k.Suffix(pc.hit.depth), u: u})
+		words[blk] += k.Suffix(pc.hit.depth).Words() + 2
+	}
+	type delReply struct {
+		removed  int
+		empty    bool
+		region   pim.Addr
+		isLeaf   bool
+		rootHash uint64
+	}
+	tasks := make([]pim.Task, 0, len(groups))
+	addrs := make([]pim.Addr, 0, len(groups))
+	for blk, g := range groups {
+		blk, g := blk, g
+		tasks = append(tasks, pim.Task{
+			Module:    blk.Module,
+			SendWords: words[blk],
+			Run: func(m *pim.Module) pim.Resp {
+				bo := m.Get(blk.ID).(*blockObj)
+				removed, work := 0, 0
+				for _, d := range g {
+					if bo.tr.Delete(d.rel) {
+						removed++
+					}
+					work += d.rel.Words() + 1
+				}
+				m.Work(work)
+				m.Resize(blk.ID)
+				live := 0
+				for _, c := range bo.children {
+					if !c.IsNil() {
+						live++
+					}
+				}
+				return pim.Resp{RecvWords: 4, Value: delReply{
+					removed: removed,
+					empty:   bo.tr.KeyCount() == 0 && live == 0,
+					region:  bo.region, rootHash: bo.rootHash,
+				}}
+			},
+		})
+		addrs = append(addrs, blk)
+	}
+	var emptied []pim.Addr
+	for i, r := range t.sys.Round(tasks) {
+		rep := r.Value.(delReply)
+		t.nKeys -= rep.removed
+		if rep.empty && addrs[i] != t.rootBlock {
+			emptied = append(emptied, addrs[i])
+		}
+	}
+	if len(emptied) > 0 {
+		t.removeBlocks(emptied)
+	}
+	// Sequential semantics for duplicate batch entries: only the first
+	// occurrence of a present key reports true.
+	reported := make([]bool, len(out.qt.Keys))
+	for i := range keys {
+		u := out.qt.Slot[i]
+		if present[u] && !reported[u] {
+			res[i] = true
+			reported[u] = true
+		}
+	}
+	return res
+}
+
+// SubtreeQuery returns every stored (key, value) whose key extends the
+// given prefix (§5.3), in lexicographic order.
+func (t *PIMTrie) SubtreeQuery(prefix bitstr.String) []trie.KV {
+	return t.SubtreeQueryBatch([]bitstr.String{prefix})[0]
+}
+
+// SubtreeQueryBatch answers a batch of subtree queries (the paper's
+// operations are all batch-parallel, §4 "Overview"): one matching pass
+// locates every prefix, then block contents are gathered level by level
+// over the block trees below the loci, with all queries sharing each
+// BFS round. results[i] corresponds to prefixes[i]; overlapping queries
+// fetch their blocks independently (each result must be complete).
+func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
+	results := make([][]trie.KV, len(prefixes))
+	if len(prefixes) == 0 {
+		return results
+	}
+	out := t.matchWithRedo(prefixes)
+
+	type fetch struct {
+		q     int // query index
+		addr  pim.Addr
+		abs   bitstr.String // absolute string of the block root
+		locus bitstr.String // collect only below this relative position
+	}
+	var level []fetch
+	for i, prefix := range prefixes {
+		u := out.qt.Slot[i]
+		n := out.qt.Nodes[u]
+		if out.reach[n] != n.Depth {
+			continue // prefix not present: empty result
+		}
+		pc := out.anchorPiece[n]
+		level = append(level, fetch{
+			q:     i,
+			addr:  pc.hit.info.Block,
+			abs:   prefix.Prefix(pc.hit.depth),
+			locus: prefix.Suffix(pc.hit.depth),
+		})
+	}
+	for len(level) > 0 {
+		tasks := make([]pim.Task, len(level))
+		for i, f := range level {
+			f := f
+			tasks[i] = pim.Task{
+				Module:    f.addr.Module,
+				SendWords: f.locus.Words() + 2,
+				Run: func(m *pim.Module) pim.Resp {
+					bo := m.Get(f.addr.ID).(*blockObj)
+					kvs := bo.tr.SubtreeKeys(f.locus)
+					// Mirrors below the locus name child blocks to fetch.
+					var kids []mirrorOut
+					bo.tr.WalkPreorder(func(nd *trie.Node) bool {
+						if nd.Mirror {
+							rel := trie.NodeString(nd)
+							if rel.HasPrefix(f.locus) {
+								kids = append(kids, mirrorOut{addr: bo.children[nd.Value], rel: rel})
+							}
+							return false
+						}
+						return true
+					})
+					w := 0
+					for _, kv := range kvs {
+						w += kv.Key.Words() + 2
+					}
+					m.Work(bo.tr.NodeCount())
+					return pim.Resp{RecvWords: w + len(kids)*3 + 1, Value: subtreeReply{kvs: kvs, kids: kids}}
+				},
+			}
+		}
+		var next []fetch
+		for i, r := range t.sys.Round(tasks) {
+			rep := r.Value.(subtreeReply)
+			f := level[i]
+			for _, kv := range rep.kvs {
+				results[f.q] = append(results[f.q], trie.KV{Key: f.abs.Concat(kv.Key), Value: kv.Value})
+			}
+			for _, k := range rep.kids {
+				if k.addr.IsNil() {
+					continue
+				}
+				next = append(next, fetch{q: f.q, addr: k.addr, abs: f.abs.Concat(k.rel), locus: bitstr.Empty})
+			}
+		}
+		level = next
+	}
+	for i := range results {
+		sortKVs(results[i])
+	}
+	return results
+}
+
+type mirrorOut struct {
+	addr pim.Addr
+	rel  bitstr.String
+}
+
+type subtreeReply struct {
+	kvs  []trie.KV
+	kids []mirrorOut
+}
+
+// sortKVs orders results lexicographically (blocks return their own
+// contents sorted, but block subtrees interleave).
+func sortKVs(kvs []trie.KV) {
+	// Small result sets dominate; a simple merge-ready sort suffices.
+	if len(kvs) < 2 {
+		return
+	}
+	quickSortKVs(kvs)
+}
+
+func quickSortKVs(kvs []trie.KV) {
+	if len(kvs) < 2 {
+		return
+	}
+	pivot := kvs[len(kvs)/2].Key
+	lt, i, gt := 0, 0, len(kvs)-1
+	for i <= gt {
+		switch bitstr.Compare(kvs[i].Key, pivot) {
+		case -1:
+			kvs[lt], kvs[i] = kvs[i], kvs[lt]
+			lt++
+			i++
+		case 1:
+			kvs[gt], kvs[i] = kvs[i], kvs[gt]
+			gt--
+		default:
+			i++
+		}
+	}
+	quickSortKVs(kvs[:lt])
+	quickSortKVs(kvs[gt+1:])
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,323 @@
+// Package ett implements Euler-tour trees (Tseng, Dhulipala, Blelloch
+// [57]; paper §4.4.2 "Efficient Block Partition"): a dynamic rooted
+// forest supporting Link, Cut, Connected, Root, and SubtreeSize in
+// O(log n) expected time each, plus batch wrappers.
+//
+// The Euler tour of every tree is kept in a balanced sequence — here a
+// treap with parent pointers (the sequential equivalent of the paper's
+// skip lists; the interface and costs are what the block-partition
+// algorithm needs). Each vertex contributes an "in" and an "out"
+// element; a subtree is the contiguous range between its vertex's in and
+// out elements, so subtree size is a range count of in-elements.
+package ett
+
+import "math/rand"
+
+// Vertex is a forest vertex. Create with Forest.AddVertex.
+type Vertex struct {
+	in, out *tnode
+	// Data is an arbitrary user payload (e.g. a query-trie node).
+	Data any
+}
+
+// tnode is a treap node representing one Euler tour element.
+type tnode struct {
+	l, r, p *tnode
+	pri     uint64
+	size    int // treap nodes in this subtree
+	cntIn   int // "in" elements in this subtree
+	isIn    bool
+	v       *Vertex
+}
+
+func (n *tnode) update() {
+	n.size, n.cntIn = 1, 0
+	if n.isIn {
+		n.cntIn = 1
+	}
+	if n.l != nil {
+		n.size += n.l.size
+		n.cntIn += n.l.cntIn
+		n.l.p = n
+	}
+	if n.r != nil {
+		n.size += n.r.size
+		n.cntIn += n.r.cntIn
+		n.r.p = n
+	}
+}
+
+// Forest is a dynamic rooted forest. The zero value is not usable; call
+// NewForest.
+type Forest struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewForest returns an empty forest with a deterministic treap seed.
+func NewForest(seed int64) *Forest {
+	return &Forest{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of vertices ever added and still present.
+func (f *Forest) Len() int { return f.n }
+
+// AddVertex creates an isolated single-vertex tree.
+func (f *Forest) AddVertex(data any) *Vertex {
+	v := &Vertex{Data: data}
+	v.in = &tnode{pri: f.rng.Uint64(), isIn: true, v: v}
+	v.out = &tnode{pri: f.rng.Uint64(), v: v}
+	v.in.update()
+	v.out.update()
+	f.n++
+	merge(v.in, v.out)
+	return v
+}
+
+// treapRoot walks to the sequence root.
+func treapRoot(n *tnode) *tnode {
+	for n.p != nil {
+		n = n.p
+	}
+	return n
+}
+
+// rank returns the number of elements strictly before n in its sequence.
+func rank(n *tnode) int {
+	r := 0
+	if n.l != nil {
+		r = n.l.size
+	}
+	for cur := n; cur.p != nil; cur = cur.p {
+		if cur.p.r == cur {
+			// The parent and its whole left subtree precede cur's subtree.
+			r += cur.p.size - cur.size
+		}
+	}
+	return r
+}
+
+// merge concatenates sequences a then b, returning the new root.
+func merge(a, b *tnode) *tnode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	if a.pri >= b.pri {
+		a.r = merge(a.r, b)
+		a.update()
+		a.p = nil
+		return a
+	}
+	b.l = merge(a, b.l)
+	b.update()
+	b.p = nil
+	return b
+}
+
+// splitAt splits the sequence rooted at t into the first k elements and
+// the rest.
+func splitAt(t *tnode, k int) (left, right *tnode) {
+	if t == nil {
+		return nil, nil
+	}
+	ls := 0
+	if t.l != nil {
+		ls = t.l.size
+	}
+	if k <= ls {
+		l, r := splitAt(t.l, k)
+		t.l = r
+		t.update()
+		t.p = nil
+		if l != nil {
+			l.p = nil
+		}
+		return l, t
+	}
+	l, r := splitAt(t.r, k-ls-1)
+	t.r = l
+	t.update()
+	t.p = nil
+	if r != nil {
+		r.p = nil
+	}
+	return t, r
+}
+
+// Connected reports whether u and v are in the same tree.
+func (f *Forest) Connected(u, v *Vertex) bool {
+	return treapRoot(u.in) == treapRoot(v.in)
+}
+
+// Root returns the root vertex of v's tree: the vertex whose in-element
+// is first in the tour.
+func (f *Forest) Root(v *Vertex) *Vertex {
+	n := treapRoot(v.in)
+	for n.l != nil {
+		n = n.l
+	}
+	return n.v
+}
+
+// IsRoot reports whether v is the root of its tree.
+func (f *Forest) IsRoot(v *Vertex) bool { return f.Root(v) == v }
+
+// Link makes root vertex c a child of p. c must be the root of its own
+// tree, and p must be in a different tree; Link panics otherwise (both
+// conditions indicate caller bugs in the partitioning logic).
+func (f *Forest) Link(c, p *Vertex) {
+	if !f.IsRoot(c) {
+		panic("ett: Link child is not a tree root")
+	}
+	if f.Connected(c, p) {
+		panic("ett: Link would create a cycle")
+	}
+	tp := treapRoot(p.in)
+	a, b := splitAt(tp, rank(p.in)+1)
+	merge(merge(a, treapRoot(c.in)), b)
+}
+
+// Cut detaches v (which must not be a tree root) from its parent; v's
+// subtree becomes its own tree rooted at v.
+func (f *Forest) Cut(v *Vertex) {
+	if f.IsRoot(v) {
+		panic("ett: Cut of a tree root")
+	}
+	t := treapRoot(v.in)
+	i, j := rank(v.in), rank(v.out)
+	a, rest := splitAt(t, i)
+	mid, b := splitAt(rest, j-i+1)
+	_ = mid // mid is v's tour, now its own tree
+	merge(a, b)
+}
+
+// SubtreeSize returns the number of vertices in v's subtree (including
+// v itself).
+func (f *Forest) SubtreeSize(v *Vertex) int {
+	i, j := rank(v.in), rank(v.out)
+	t := treapRoot(v.in)
+	return countIn(t, j+1) - countIn(t, i)
+}
+
+// TreeSize returns the number of vertices in v's whole tree.
+func (f *Forest) TreeSize(v *Vertex) int {
+	return treapRoot(v.in).cntIn
+}
+
+// countIn returns the number of in-elements among the first k elements.
+func countIn(t *tnode, k int) int {
+	cnt := 0
+	for t != nil && k > 0 {
+		ls := 0
+		if t.l != nil {
+			ls = t.l.size
+		}
+		if k <= ls {
+			t = t.l
+			continue
+		}
+		if t.l != nil {
+			cnt += t.l.cntIn
+		}
+		k -= ls + 1
+		if t.isIn {
+			cnt++
+		}
+		t = t.r
+	}
+	return cnt
+}
+
+// Parent returns v's parent vertex, or nil if v is a root. The parent is
+// the vertex owning the nearest in-element before v.in whose out-element
+// lies after v.out — recovered in O(log n) by scanning left from v.in
+// through the treap for the first unmatched in-element.
+func (f *Forest) Parent(v *Vertex) *Vertex {
+	if f.IsRoot(v) {
+		return nil
+	}
+	// The element immediately before v.in is either the parent's
+	// in-element or a sibling subtree's out-element; in the latter case
+	// that sibling's in-element's predecessor repeats the situation, so
+	// hop over closed subtrees.
+	n := prev(v.in)
+	for n != nil {
+		if n.isIn {
+			return n.v
+		}
+		n = prev(n.v.in)
+	}
+	return nil
+}
+
+// prev returns the element before n in its sequence, or nil.
+func prev(n *tnode) *tnode {
+	if n.l != nil {
+		n = n.l
+		for n.r != nil {
+			n = n.r
+		}
+		return n
+	}
+	for n.p != nil && n.p.l == n {
+		n = n.p
+	}
+	return n.p
+}
+
+// Children returns v's children in tour order; an O(subtree) scan used
+// by the partitioning logic when it materializes a block.
+func (f *Forest) Children(v *Vertex) []*Vertex {
+	var out []*Vertex
+	n := next(v.in)
+	for n != nil && n != v.out {
+		if n.isIn {
+			out = append(out, n.v)
+			n = next(n.v.out)
+			continue
+		}
+		n = next(n)
+	}
+	return out
+}
+
+func next(n *tnode) *tnode {
+	if n.r != nil {
+		n = n.r
+		for n.l != nil {
+			n = n.l
+		}
+		return n
+	}
+	for n.p != nil && n.p.r == n {
+		n = n.p
+	}
+	return n.p
+}
+
+// BatchLink applies Link to each (child, parent) pair; the batch
+// interface mirrors [57] even though execution here is sequential.
+func (f *Forest) BatchLink(pairs [][2]*Vertex) {
+	for _, pr := range pairs {
+		f.Link(pr[0], pr[1])
+	}
+}
+
+// BatchCut applies Cut to every vertex.
+func (f *Forest) BatchCut(vs []*Vertex) {
+	for _, v := range vs {
+		f.Cut(v)
+	}
+}
+
+// BatchSubtreeSize returns SubtreeSize for every vertex.
+func (f *Forest) BatchSubtreeSize(vs []*Vertex) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = f.SubtreeSize(v)
+	}
+	return out
+}

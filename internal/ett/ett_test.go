@@ -1,0 +1,244 @@
+package ett
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refForest is a naive parent-array reference implementation.
+type refForest struct {
+	parent map[int]int // -1 for roots
+}
+
+func newRef() *refForest { return &refForest{parent: map[int]int{}} }
+
+func (r *refForest) add(id int) { r.parent[id] = -1 }
+
+func (r *refForest) root(id int) int {
+	for r.parent[id] != -1 {
+		id = r.parent[id]
+	}
+	return id
+}
+
+func (r *refForest) connected(a, b int) bool { return r.root(a) == r.root(b) }
+
+func (r *refForest) subtreeSize(id int) int {
+	// Count vertices whose root-path passes through id.
+	n := 0
+	for v := range r.parent {
+		for c := v; ; {
+			if c == id {
+				n++
+				break
+			}
+			c = r.parent[c]
+			if c == -1 {
+				break
+			}
+		}
+	}
+	return n
+}
+
+func TestLinkCutAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := NewForest(42)
+	ref := newRef()
+	n := 120
+	vs := make([]*Vertex, n)
+	for i := 0; i < n; i++ {
+		vs[i] = f.AddVertex(i)
+		ref.add(i)
+	}
+	for step := 0; step < 4000; step++ {
+		a, b := r.Intn(n), r.Intn(n)
+		switch r.Intn(3) {
+		case 0: // link if legal
+			if ref.parent[a] == -1 && !ref.connected(a, b) {
+				f.Link(vs[a], vs[b])
+				ref.parent[a] = b
+			}
+		case 1: // cut if legal
+			if ref.parent[a] != -1 {
+				f.Cut(vs[a])
+				ref.parent[a] = -1
+			}
+		default: // queries
+			if got, want := f.Connected(vs[a], vs[b]), ref.connected(a, b); got != want {
+				t.Fatalf("step %d: Connected(%d,%d) = %v, want %v", step, a, b, got, want)
+			}
+			if got, want := f.Root(vs[a]).Data.(int), ref.root(a); got != want {
+				t.Fatalf("step %d: Root(%d) = %d, want %d", step, a, got, want)
+			}
+			if got, want := f.SubtreeSize(vs[a]), ref.subtreeSize(a); got != want {
+				t.Fatalf("step %d: SubtreeSize(%d) = %d, want %d", step, a, got, want)
+			}
+		}
+	}
+	// Full sweep at the end.
+	for i := 0; i < n; i++ {
+		if got, want := f.SubtreeSize(vs[i]), ref.subtreeSize(i); got != want {
+			t.Fatalf("final SubtreeSize(%d) = %d, want %d", i, got, want)
+		}
+		wantP := ref.parent[i]
+		p := f.Parent(vs[i])
+		if wantP == -1 && p != nil {
+			t.Fatalf("Parent(%d) = %v, want nil", i, p.Data)
+		}
+		if wantP != -1 && (p == nil || p.Data.(int) != wantP) {
+			t.Fatalf("Parent(%d) wrong", i)
+		}
+	}
+}
+
+func TestChildrenOrderAndCompleteness(t *testing.T) {
+	f := NewForest(7)
+	root := f.AddVertex("root")
+	var kids []*Vertex
+	for i := 0; i < 10; i++ {
+		c := f.AddVertex(i)
+		f.Link(c, root)
+		kids = append(kids, c)
+	}
+	got := f.Children(root)
+	if len(got) != 10 {
+		t.Fatalf("Children = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		seen[c.Data.(int)] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("duplicate or missing children")
+	}
+	// Grandchildren must not appear.
+	g := f.AddVertex("grand")
+	f.Link(g, kids[3])
+	if len(f.Children(root)) != 10 {
+		t.Fatal("grandchild leaked into Children")
+	}
+	if cs := f.Children(kids[3]); len(cs) != 1 || cs[0] != g {
+		t.Fatal("grandchild not under its parent")
+	}
+}
+
+func TestLinkPanics(t *testing.T) {
+	f := NewForest(1)
+	a, b, c := f.AddVertex(0), f.AddVertex(1), f.AddVertex(2)
+	f.Link(b, a)
+	t.Run("nonRootChild", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f.Link(b, c)
+	})
+	t.Run("cycle", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f.Link(a, b)
+	})
+	t.Run("cutRoot", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f.Cut(a)
+	})
+}
+
+func TestDeepChain(t *testing.T) {
+	f := NewForest(3)
+	n := 5000
+	vs := make([]*Vertex, n)
+	for i := range vs {
+		vs[i] = f.AddVertex(i)
+		if i > 0 {
+			f.Link(vs[i], vs[i-1])
+		}
+	}
+	if f.SubtreeSize(vs[0]) != n {
+		t.Fatalf("chain root subtree = %d", f.SubtreeSize(vs[0]))
+	}
+	if f.SubtreeSize(vs[n/2]) != n-n/2 {
+		t.Fatalf("mid subtree = %d", f.SubtreeSize(vs[n/2]))
+	}
+	if f.Root(vs[n-1]) != vs[0] {
+		t.Fatal("wrong root")
+	}
+	// Cut the middle: two chains.
+	f.Cut(vs[n/2])
+	if f.Connected(vs[0], vs[n-1]) {
+		t.Fatal("still connected after cut")
+	}
+	if f.TreeSize(vs[0]) != n/2 || f.TreeSize(vs[n-1]) != n-n/2 {
+		t.Fatalf("tree sizes %d/%d", f.TreeSize(vs[0]), f.TreeSize(vs[n-1]))
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	f := NewForest(9)
+	root := f.AddVertex(-1)
+	var pairs [][2]*Vertex
+	var leaves []*Vertex
+	for i := 0; i < 50; i++ {
+		v := f.AddVertex(i)
+		pairs = append(pairs, [2]*Vertex{v, root})
+		leaves = append(leaves, v)
+	}
+	f.BatchLink(pairs)
+	sizes := f.BatchSubtreeSize(leaves)
+	for i, s := range sizes {
+		if s != 1 {
+			t.Fatalf("leaf %d subtree = %d", i, s)
+		}
+	}
+	if f.SubtreeSize(root) != 51 {
+		t.Fatalf("root subtree = %d", f.SubtreeSize(root))
+	}
+	f.BatchCut(leaves[:25])
+	if f.SubtreeSize(root) != 26 {
+		t.Fatalf("root subtree after cuts = %d", f.SubtreeSize(root))
+	}
+}
+
+func BenchmarkLinkCut(b *testing.B) {
+	f := NewForest(11)
+	n := 1 << 12
+	vs := make([]*Vertex, n)
+	for i := range vs {
+		vs[i] = f.AddVertex(i)
+		if i > 0 {
+			f.Link(vs[i], vs[i/2])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cut a leaf (heap indices >= n/2) and reattach it elsewhere.
+		v := vs[n/2+i%(n/2)]
+		f.Cut(v)
+		f.Link(v, vs[i%(n/4)])
+	}
+}
+
+func BenchmarkSubtreeSize(b *testing.B) {
+	f := NewForest(13)
+	n := 1 << 14
+	vs := make([]*Vertex, n)
+	for i := range vs {
+		vs[i] = f.AddVertex(i)
+		if i > 0 {
+			f.Link(vs[i], vs[i/2])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SubtreeSize(vs[i%n])
+	}
+}

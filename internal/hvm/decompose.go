@@ -1,0 +1,76 @@
+package hvm
+
+// This file implements the recursive meta-block decomposition of §4.4.1
+// (Figure 4): an oversized meta-block is split at its optimal cut node,
+// and the pieces are split again until every piece has fewer than kSMB
+// nodes, producing a meta-block tree of height O(log kMB) (Lemma 4.6).
+// The main index path in package core uses single-level Split on
+// overflow; RecursiveDecompose exists for the Figure 4 reproduction and
+// the meta-recursion ablation (experiment E9).
+
+// MBTree is a node of the meta-block tree: one (small) region plus the
+// subtrees split off below its cut node.
+type MBTree struct {
+	Region   *Region
+	Cut      *MetaNode // the cut node whose out-edges were removed; nil at leaves
+	Children []*MBTree
+}
+
+// RecursiveDecompose splits the region into a meta-block tree whose
+// every piece has fewer than kSMB meta-nodes (when the input allows it:
+// a single node is never split). The receiver region is consumed.
+func RecursiveDecompose(r *Region, kSMB int) *MBTree {
+	t := &MBTree{Region: r}
+	if r.Len() < kSMB || r.Len() < 2 {
+		return t
+	}
+	cut, _ := CutNode(r.Root)
+	if len(cut.Children) == 0 {
+		cut = r.Root
+	}
+	t.Cut = cut
+	_, parts := r.Split()
+	for _, nr := range parts {
+		t.Children = append(t.Children, RecursiveDecompose(nr, kSMB))
+	}
+	// The remaining piece may still be oversized (the cut bounds each
+	// component by (n+1)/2, so repeated splitting of the remainder
+	// converges); split it again in place.
+	for r.Len() >= kSMB && r.Len() >= 2 {
+		_, more := r.Split()
+		for _, nr := range more {
+			t.Children = append(t.Children, RecursiveDecompose(nr, kSMB))
+		}
+	}
+	return t
+}
+
+// Height returns the height of the meta-block tree (a single piece has
+// height 1).
+func (t *MBTree) Height() int {
+	h := 0
+	for _, c := range t.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Pieces returns every region in the tree.
+func (t *MBTree) Pieces() []*Region {
+	out := []*Region{t.Region}
+	for _, c := range t.Children {
+		out = append(out, c.Pieces()...)
+	}
+	return out
+}
+
+// TotalNodes returns the number of meta-nodes across all pieces.
+func (t *MBTree) TotalNodes() int {
+	n := 0
+	for _, p := range t.Pieces() {
+		n += p.Len()
+	}
+	return n
+}

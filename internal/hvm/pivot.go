@@ -1,0 +1,62 @@
+package hvm
+
+// The pivot index of §4.4.2 ("Efficient HashMatching"): each meta-node
+// carries the hash of its root string's longest w-multiple prefix
+// (HashPre) and the sub-word remainder (S_rem); the region groups its
+// members by HashPre into two-layer indexes (yfast.TwoLayerIndex), so a
+// probe touches one class per w bits instead of one hash table per bit.
+// The index is derived state, rebuilt lazily after mutations.
+
+import (
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/yfast"
+)
+
+// PivotIndex maps pivot-class hashes to two-layer indexes over the
+// members' remainders. Payloads are positions in Metas.
+type PivotIndex struct {
+	Classes map[uint64]*yfast.TwoLayerIndex
+	Metas   []*MetaNode
+}
+
+// Pivot returns the region's pivot index, rebuilding it if any mutation
+// occurred since the last build. Callers on a PIM module should charge
+// Work(r.Len()) for a rebuild.
+func (r *Region) Pivot() *PivotIndex {
+	if r.pivot != nil && !r.pivotDirty {
+		return r.pivot
+	}
+	px := &PivotIndex{Classes: map[uint64]*yfast.TwoLayerIndex{}}
+	r.Walk(func(n *MetaNode) {
+		cls := px.Classes[n.HashPre]
+		if cls == nil {
+			cls = yfast.NewTwoLayer(bitstr.WordBits)
+			px.Classes[n.HashPre] = cls
+		}
+		cls.Insert(n.SRem, uint64(len(px.Metas)))
+		px.Metas = append(px.Metas, n)
+	})
+	r.pivot = px
+	r.pivotDirty = false
+	return px
+}
+
+// markDirty invalidates the pivot index; every membership mutation calls
+// it.
+func (r *Region) markDirty() { r.pivotDirty = true }
+
+// LookupPivot returns, for a pivot class and a remainder query (< w
+// bits), the member whose S_rem has the longest LCP with the query
+// (ties: shortest) — the §4.4.2 two-layer contract. It reports false
+// when the class is empty.
+func (r *Region) LookupPivot(hashPre uint64, srem bitstr.String) (*MetaNode, bool) {
+	cls := r.Pivot().Classes[hashPre]
+	if cls == nil {
+		return nil, false
+	}
+	res, ok := cls.Lookup(srem)
+	if !ok {
+		return nil, false
+	}
+	return r.pivot.Metas[res.Payload], true
+}

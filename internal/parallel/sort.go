@@ -1,0 +1,50 @@
+package parallel
+
+import "sort"
+
+// MergeSort sorts xs stably with a fork-join parallel merge sort — the
+// CPU-side sorting primitive behind query-trie construction (the paper
+// cites the parallel string sort of [26]; a comparison merge sort over
+// word-level comparators achieves the same role on our batch sizes).
+// The comparator must be a strict weak ordering.
+func MergeSort[T any](xs []T, less func(a, b T) bool) {
+	if len(xs) < 2 {
+		return
+	}
+	buf := make([]T, len(xs))
+	mergeSortRec(xs, buf, less, maxProcs)
+}
+
+// sortGrain is the size below which sort.SliceStable is faster than
+// forking.
+const sortGrain = 2048
+
+func mergeSortRec[T any](xs, buf []T, less func(a, b T) bool, procs int) {
+	if len(xs) <= sortGrain || procs <= 1 {
+		sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := len(xs) / 2
+	done := make(chan struct{})
+	go func() {
+		mergeSortRec(xs[:mid], buf[:mid], less, procs/2)
+		close(done)
+	}()
+	mergeSortRec(xs[mid:], buf[mid:], less, procs-procs/2)
+	<-done
+	// Merge the halves through the buffer.
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(xs) {
+		if less(xs[j], xs[i]) {
+			buf[k] = xs[j]
+			j++
+		} else {
+			buf[k] = xs[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], xs[i:mid])
+	copy(buf[k+mid-i:], xs[j:])
+	copy(xs, buf)
+}

@@ -1,0 +1,425 @@
+// Package pim is an instrumented, in-process simulator of the
+// Processing-in-Memory Model of Kang et al. (SPAA 2021), the cost model in
+// which PIM-trie is designed and analyzed (paper §2).
+//
+// The model consists of a host CPU and P PIM modules. Each module couples
+// a private memory with a weak general-purpose processor; only the host
+// can move data between its cache and module memories, and execution
+// proceeds in BSP-style rounds: the host writes buffers to modules,
+// launches module programs, waits, and reads buffers back.
+//
+// This simulator substitutes for real PIM hardware (UPMEM-class systems).
+// It preserves precisely the quantities the paper's theorems bound:
+//
+//   - IO rounds     — number of BSP supersteps,
+//   - IO time       — Σ over rounds of max words to/from any one module,
+//   - IO volume     — total words transferred,
+//   - PIM time      — Σ over rounds of max accounted work on any module,
+//   - CPU work      — host-side accounted operations,
+//   - space         — words of module memory in use.
+//
+// Module programs run as real Go closures on per-module goroutines, so
+// wall-clock also benefits from module parallelism, but all reproduction
+// claims are made on the model metrics above.
+package pim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Addr names an object living in some module's memory: the (PIM module
+// ID, local memory address) pair of §4.
+type Addr struct {
+	Module int
+	ID     uint64
+}
+
+// NilAddr is the zero Addr, used as a null pointer.
+var NilAddr = Addr{Module: -1}
+
+// IsNil reports whether a is the null address.
+func (a Addr) IsNil() bool { return a.Module < 0 }
+
+func (a Addr) String() string { return fmt.Sprintf("pim(%d:%d)", a.Module, a.ID) }
+
+// Sized is implemented by objects that know their PIM-memory footprint in
+// machine words; Alloc falls back to one word for other values.
+type Sized interface {
+	SizeWords() int
+}
+
+// Module is one PIM module: local object memory plus a work counter for
+// the program currently running on it. Module methods must only be called
+// from code executing inside a Round on this module, or from the host
+// strictly for accounting-free setup/teardown.
+type Module struct {
+	id      int
+	objects map[uint64]any
+	sizes   map[uint64]int
+	nextID  uint64
+	space   int // words currently allocated
+
+	work int64 // work accounted in the current round
+}
+
+// ID returns the module's index in [0, P).
+func (m *Module) ID() int { return m.id }
+
+// Alloc stores obj in module memory and returns its address.
+func (m *Module) Alloc(obj any) Addr {
+	m.nextID++
+	id := m.nextID
+	m.objects[id] = obj
+	sz := sizeOf(obj)
+	m.sizes[id] = sz
+	m.space += sz
+	return Addr{Module: m.id, ID: id}
+}
+
+// Get loads the object at id; it panics on a dangling address, which
+// always indicates a bug in the index code.
+func (m *Module) Get(id uint64) any {
+	obj, ok := m.objects[id]
+	if !ok {
+		panic(fmt.Sprintf("pim: module %d: dangling address %d", m.id, id))
+	}
+	return obj
+}
+
+// Resize re-accounts the space of the object at id after a mutation.
+func (m *Module) Resize(id uint64) {
+	obj, ok := m.objects[id]
+	if !ok {
+		panic(fmt.Sprintf("pim: module %d: resize of dangling address %d", m.id, id))
+	}
+	m.space -= m.sizes[id]
+	sz := sizeOf(obj)
+	m.sizes[id] = sz
+	m.space += sz
+}
+
+// Free releases the object at id.
+func (m *Module) Free(id uint64) {
+	if _, ok := m.objects[id]; !ok {
+		panic(fmt.Sprintf("pim: module %d: double free of %d", m.id, id))
+	}
+	m.space -= m.sizes[id]
+	delete(m.objects, id)
+	delete(m.sizes, id)
+}
+
+// Work accounts n instructions of PIM-processor work for the current
+// round's program.
+func (m *Module) Work(n int) { m.work += int64(n) }
+
+// SpaceWords returns the words of module memory currently allocated.
+func (m *Module) SpaceWords() int { return m.space }
+
+// Objects returns the number of live objects (diagnostics only).
+func (m *Module) Objects() int { return len(m.objects) }
+
+// Each visits every live object (diagnostics only; never accounted).
+func (m *Module) Each(fn func(obj any)) {
+	for _, o := range m.objects {
+		fn(o)
+	}
+}
+
+// EachID visits every live object with its local address; for module
+// programs that sweep their own memory (e.g. bulk teardown).
+func (m *Module) EachID(fn func(id uint64, obj any)) {
+	for id, o := range m.objects {
+		fn(id, o)
+	}
+}
+
+func sizeOf(obj any) int {
+	if s, ok := obj.(Sized); ok {
+		if w := s.SizeWords(); w > 0 {
+			return w
+		}
+		return 1
+	}
+	return 1
+}
+
+// Task is one host→module interaction inside a round: the host ships
+// SendWords words of input to module Module, the module runs Run, and the
+// host reads back the reply. Several tasks may target the same module in
+// one round; they execute sequentially on that module.
+type Task struct {
+	Module    int
+	SendWords int
+	Run       func(m *Module) Resp
+}
+
+// Resp is a module program's reply: RecvWords words are read back by the
+// host; Value carries the decoded payload for the host's continuation.
+type Resp struct {
+	RecvWords int
+	Value     any
+}
+
+// Metrics is a snapshot of the model's cumulative cost counters.
+type Metrics struct {
+	Rounds       int64 // BSP supersteps executed
+	IOTime       int64 // Σ_r max_m (words to+from module m in round r)
+	IOWords      int64 // total words moved CPU↔PIM
+	PIMTime      int64 // Σ_r max_m (work on module m in round r)
+	PIMWork      int64 // total accounted PIM work
+	CPUWork      int64 // total accounted CPU work
+	PerModuleIO  []int64
+	PerModuleWrk []int64
+}
+
+// Sub returns m - s, the cost incurred between two snapshots.
+func (m Metrics) Sub(s Metrics) Metrics {
+	d := Metrics{
+		Rounds:  m.Rounds - s.Rounds,
+		IOTime:  m.IOTime - s.IOTime,
+		IOWords: m.IOWords - s.IOWords,
+		PIMTime: m.PIMTime - s.PIMTime,
+		PIMWork: m.PIMWork - s.PIMWork,
+		CPUWork: m.CPUWork - s.CPUWork,
+	}
+	d.PerModuleIO = make([]int64, len(m.PerModuleIO))
+	d.PerModuleWrk = make([]int64, len(m.PerModuleWrk))
+	for i := range d.PerModuleIO {
+		d.PerModuleIO[i] = m.PerModuleIO[i] - s.PerModuleIO[i]
+		d.PerModuleWrk[i] = m.PerModuleWrk[i] - s.PerModuleWrk[i]
+	}
+	return d
+}
+
+// IOBalance returns P·max_m(io_m)/Σ_m(io_m), the load-imbalance factor of
+// the communication: 1.0 is perfect balance, P is total serialization.
+// It returns 1 when no IO occurred.
+func (m Metrics) IOBalance() float64 {
+	var max, sum int64
+	for _, v := range m.PerModuleIO {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(m.PerModuleIO)) / float64(sum)
+}
+
+// WorkBalance is IOBalance for PIM work.
+func (m Metrics) WorkBalance() float64 {
+	var max, sum int64
+	for _, v := range m.PerModuleWrk {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(m.PerModuleWrk)) / float64(sum)
+}
+
+// RoundTrace describes one executed BSP round for diagnostics.
+type RoundTrace struct {
+	Tasks     int
+	Modules   int   // distinct modules addressed
+	SendWords int64 // total words shipped to modules
+	RecvWords int64 // total words read back
+	MaxIO     int64 // busiest module's words (to+from)
+	MaxWork   int64 // busiest module's accounted work
+}
+
+// System is a host CPU plus P PIM modules.
+type System struct {
+	p       int
+	modules []*Module
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+	metrics Metrics
+	maxPar  int // cap on concurrently running module goroutines
+
+	trace   []RoundTrace
+	tracing bool
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithSeed fixes the seed of the host's placement RNG (RandModule).
+func WithSeed(seed int64) Option {
+	return func(s *System) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMaxParallelism caps how many module programs run concurrently;
+// useful to keep tests deterministic in scheduling-sensitive scenarios.
+func WithMaxParallelism(n int) Option {
+	return func(s *System) {
+		if n > 0 {
+			s.maxPar = n
+		}
+	}
+}
+
+// NewSystem creates a system with p PIM modules.
+func NewSystem(p int, opts ...Option) *System {
+	if p <= 0 {
+		panic("pim: need at least one module")
+	}
+	s := &System{
+		p:      p,
+		rng:    rand.New(rand.NewSource(1)),
+		maxPar: 64,
+	}
+	s.modules = make([]*Module, p)
+	for i := range s.modules {
+		s.modules[i] = &Module{id: i, objects: map[uint64]any{}, sizes: map[uint64]int{}}
+	}
+	s.metrics.PerModuleIO = make([]int64, p)
+	s.metrics.PerModuleWrk = make([]int64, p)
+	return s
+}
+
+// P returns the number of PIM modules.
+func (s *System) P() int { return s.p }
+
+// RandModule draws a uniformly random module index from the host's
+// placement RNG; all "distribute uniformly randomly" steps use it.
+func (s *System) RandModule() int {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Intn(s.p)
+}
+
+// CPUWork accounts n host-side operations.
+func (s *System) CPUWork(n int) { s.metrics.CPUWork += int64(n) }
+
+// Metrics returns a snapshot of the cumulative counters.
+func (s *System) Metrics() Metrics {
+	m := s.metrics
+	m.PerModuleIO = append([]int64(nil), s.metrics.PerModuleIO...)
+	m.PerModuleWrk = append([]int64(nil), s.metrics.PerModuleWrk...)
+	return m
+}
+
+// SpaceWords returns total and per-module words of PIM memory in use.
+func (s *System) SpaceWords() (total int, per []int) {
+	per = make([]int, s.p)
+	for i, m := range s.modules {
+		per[i] = m.space
+		total += m.space
+	}
+	return total, per
+}
+
+// Module returns module i for host-side setup that is deliberately not
+// accounted (e.g., constructing initial state in tests). Algorithm code
+// must access modules only through Round.
+func (s *System) Module(i int) *Module { return s.modules[i] }
+
+// Round executes one BSP superstep: all tasks' inputs are shipped, module
+// programs run (in parallel across modules, sequentially within one
+// module), and replies are read back. It returns the replies in task
+// order and updates every cost counter.
+func (s *System) Round(tasks []Task) []Resp {
+	resps := make([]Resp, len(tasks))
+	if len(tasks) == 0 {
+		// An empty round still synchronizes; count it to keep algorithms
+		// honest about their round structure.
+		s.metrics.Rounds++
+		return resps
+	}
+	perModule := make([][]int, s.p)
+	for i, t := range tasks {
+		if t.Module < 0 || t.Module >= s.p {
+			panic(fmt.Sprintf("pim: task %d targets invalid module %d", i, t.Module))
+		}
+		perModule[t.Module] = append(perModule[t.Module], i)
+	}
+
+	sem := make(chan struct{}, s.maxPar)
+	var wg sync.WaitGroup
+	for mi, idxs := range perModule {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(mod *Module, idxs []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, ti := range idxs {
+				if tasks[ti].Run != nil {
+					resps[ti] = tasks[ti].Run(mod)
+				}
+			}
+		}(s.modules[mi], idxs)
+	}
+	wg.Wait()
+
+	// Accounting (host side, after the barrier).
+	s.metrics.Rounds++
+	var roundMaxIO, roundMaxWork, sendW, recvW int64
+	busy := 0
+	for mi, idxs := range perModule {
+		if len(idxs) == 0 {
+			continue
+		}
+		busy++
+		var io int64
+		for _, ti := range idxs {
+			io += int64(tasks[ti].SendWords) + int64(resps[ti].RecvWords)
+			sendW += int64(tasks[ti].SendWords)
+			recvW += int64(resps[ti].RecvWords)
+		}
+		w := s.modules[mi].work
+		s.modules[mi].work = 0
+		s.metrics.PerModuleIO[mi] += io
+		s.metrics.PerModuleWrk[mi] += w
+		s.metrics.IOWords += io
+		s.metrics.PIMWork += w
+		if io > roundMaxIO {
+			roundMaxIO = io
+		}
+		if w > roundMaxWork {
+			roundMaxWork = w
+		}
+	}
+	s.metrics.IOTime += roundMaxIO
+	s.metrics.PIMTime += roundMaxWork
+	if s.tracing {
+		s.trace = append(s.trace, RoundTrace{
+			Tasks: len(tasks), Modules: busy,
+			SendWords: sendW, RecvWords: recvW,
+			MaxIO: roundMaxIO, MaxWork: roundMaxWork,
+		})
+	}
+	return resps
+}
+
+// StartTrace begins recording a RoundTrace per executed round; it resets
+// any previous trace. StopTrace returns and clears the recording.
+func (s *System) StartTrace() { s.tracing, s.trace = true, nil }
+
+// StopTrace ends recording and returns the rounds observed since
+// StartTrace.
+func (s *System) StopTrace() []RoundTrace {
+	out := s.trace
+	s.tracing, s.trace = false, nil
+	return out
+}
+
+// Broadcast runs one round with the same program on every module, shipping
+// sendWords words to each (e.g., replicating the master-tree, §4.4).
+func (s *System) Broadcast(sendWords int, run func(m *Module) Resp) []Resp {
+	tasks := make([]Task, s.p)
+	for i := range tasks {
+		tasks[i] = Task{Module: i, SendWords: sendWords, Run: run}
+	}
+	return s.Round(tasks)
+}

@@ -1,0 +1,84 @@
+// Package querytrie builds the query trie of §4.1 (Algorithm 1): the
+// Patricia trie over the keys of one operation batch, constructed in the
+// CPU cache as a preprocessing step. Processing a whole query trie
+// instead of individual strings is what lets PIM-trie share work across
+// queries with common prefixes and keep communication proportional to
+// the trie size Q_Q rather than the batch's total key length.
+package querytrie
+
+import (
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/parallel"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// QueryTrie is the batch's Patricia trie plus the bookkeeping that maps
+// batch positions to trie nodes and back.
+type QueryTrie struct {
+	Trie *trie.Trie
+	// Keys are the deduplicated batch keys in sorted order; Nodes[i] is
+	// the locus node of Keys[i] (its Value is i).
+	Keys  []bitstr.String
+	Nodes []*trie.Node
+	// Slot maps each original batch index to its entry in Keys.
+	Slot []int
+}
+
+// Build sorts and deduplicates the batch, computes adjacent LCPs
+// implicitly, and generates the Patricia trie (Algorithm 1). It is the
+// QTrieConstruct preprocessing run on the host for every batch.
+func Build(batch []bitstr.String) *QueryTrie {
+	n := len(batch)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Parallel stable arg-sort (the StringSort step of Algorithm 1).
+	parallel.MergeSort(idx, func(a, b int) bool {
+		return bitstr.Compare(batch[a], batch[b]) < 0
+	})
+	qt := &QueryTrie{Slot: make([]int, n)}
+	var values []uint64
+	for _, bi := range idx {
+		k := batch[bi]
+		if len(qt.Keys) == 0 || !bitstr.Equal(qt.Keys[len(qt.Keys)-1], k) {
+			qt.Keys = append(qt.Keys, k)
+			values = append(values, uint64(len(qt.Keys)-1))
+		}
+		qt.Slot[bi] = len(qt.Keys) - 1
+	}
+	qt.Trie, qt.Nodes = trie.BuildFromSorted(qt.Keys, values)
+	return qt
+}
+
+// SizeWords returns Q_Q, the model size of the query trie.
+func (q *QueryTrie) SizeWords() int { return q.Trie.SizeWords() }
+
+// NodeHashes computes the node hash (hash of the represented string) of
+// every compressed node by a rootfix scan: each node extends its
+// parent's value by its parent edge label (Lemma 4.9's sequential core).
+func (q *QueryTrie) NodeHashes(h *hashing.Hasher) map[*trie.Node]hashing.Value {
+	out := make(map[*trie.Node]hashing.Value, q.Trie.NodeCount())
+	var rec func(n *trie.Node, v hashing.Value)
+	rec = func(n *trie.Node, v hashing.Value) {
+		out[n] = v
+		for b := 0; b < 2; b++ {
+			if e := n.Child[b]; e != nil {
+				rec(e.To, h.Extend(v, e.Label))
+			}
+		}
+	}
+	rec(q.Trie.Root(), hashing.EmptyValue())
+	return out
+}
+
+// LeafDepths returns, for every unique key, its length in bits; used by
+// result assembly to clip LCP answers.
+func (q *QueryTrie) LeafDepths() []int {
+	out := make([]int, len(q.Keys))
+	for i, k := range q.Keys {
+		out[i] = k.Len()
+	}
+	return out
+}

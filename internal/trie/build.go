@@ -1,0 +1,78 @@
+package trie
+
+import (
+	"fmt"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+// BuildFromSorted constructs a Patricia trie from strictly increasing
+// keys in a single left-to-right pass over the sorted batch, the
+// PatriciaGenerate step of Algorithm 1. It runs in O(Σ key words) time
+// using a rightmost-path stack, and returns the locus node of every key
+// (nodes[i] holds keys[i] with values[i]).
+//
+// Keys must be sorted by bitstr.Compare and duplicate-free; the function
+// panics otherwise, since callers (querytrie.Build) are required to sort
+// and deduplicate first.
+func BuildFromSorted(keys []bitstr.String, values []uint64) (*Trie, []*Node) {
+	t := New()
+	nodes := make([]*Node, len(keys))
+	if len(keys) == 0 {
+		return t, nodes
+	}
+	// Rightmost path from the root to the most recent leaf.
+	stack := []*Node{t.root}
+
+	place := func(i int, l int) {
+		k := keys[i]
+		// Pop to the deepest rightmost node of depth <= l.
+		var lastPopped *Node
+		for len(stack) > 0 && stack[len(stack)-1].Depth > l {
+			lastPopped = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		top := stack[len(stack)-1]
+		branch := top
+		if top.Depth < l {
+			// The branching point is hidden inside the edge top→lastPopped.
+			e := lastPopped.ParentEdge
+			branch = t.splitEdge(e, l-top.Depth)
+			stack = append(stack, branch)
+		}
+		if k.Len() == l {
+			// keys[i] equals the branch-point string (it is a prefix of the
+			// previous key) — impossible for sorted unique input.
+			panic(fmt.Sprintf("trie: BuildFromSorted input not sorted/unique at %d", i))
+		}
+		leaf := &Node{HasValue: true, Value: values[i]}
+		t.nodes++
+		t.keys++
+		t.attach(branch, k.Suffix(l), leaf)
+		nodes[i] = leaf
+		stack = append(stack, leaf)
+	}
+
+	// First key: either the empty string (lands on the root) or a leaf.
+	if keys[0].IsEmpty() {
+		t.root.HasValue = true
+		t.root.Value = values[0]
+		t.keys++
+		nodes[0] = t.root
+	} else {
+		place(0, 0)
+	}
+	for i := 1; i < len(keys); i++ {
+		if c := bitstr.Compare(keys[i-1], keys[i]); c >= 0 {
+			panic(fmt.Sprintf("trie: BuildFromSorted input not sorted/unique at %d", i))
+		}
+		l := bitstr.LCP(keys[i-1], keys[i])
+		if l == keys[i].Len() {
+			panic(fmt.Sprintf("trie: BuildFromSorted later key is a prefix of an earlier one at %d", i))
+		}
+		// In prefix-first order, if keys[i-1] is a prefix of keys[i] the
+		// branch point is keys[i-1]'s own node at depth l.
+		place(i, l)
+	}
+	return t, nodes
+}

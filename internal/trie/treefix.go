@@ -1,0 +1,59 @@
+package trie
+
+// Treefix operations ([53], cited in §4 "Basic Structures"): rootfix
+// scans push values from the root toward the leaves, leaffix scans pull
+// values from the leaves toward the root. PIM-trie uses rootfix to
+// derive node hashes and per-leaf LCP answers, and leaffix to find
+// completely-deleted subtrees during batch Delete (§5.2). The sequential
+// forms below are the work parts of the paper's O(n) work / O(log n)
+// depth parallel scans.
+
+// Rootfix computes out[n] = f(out[parent(n)], parentEdge(n)) for every
+// node, with out[root] = init — a downward scan. The visit order is
+// preorder, so f sees its parent's final value.
+func Rootfix[T any](t *Trie, init T, f func(parent T, e *Edge) T) map[*Node]T {
+	out := make(map[*Node]T, t.NodeCount())
+	var rec func(n *Node, v T)
+	rec = func(n *Node, v T) {
+		out[n] = v
+		for b := 0; b < 2; b++ {
+			if e := n.Child[b]; e != nil {
+				rec(e.To, f(v, e))
+			}
+		}
+	}
+	rec(t.root, init)
+	return out
+}
+
+// Leaffix computes out[n] = combine(leaf(n), out of children) bottom-up:
+// leaf supplies each node's own contribution and combine folds a child's
+// result (across its edge) into the accumulator.
+func Leaffix[T any](t *Trie, leaf func(n *Node) T, combine func(acc T, e *Edge, child T) T) map[*Node]T {
+	out := make(map[*Node]T, t.NodeCount())
+	var rec func(n *Node) T
+	rec = func(n *Node) T {
+		acc := leaf(n)
+		for b := 0; b < 2; b++ {
+			if e := n.Child[b]; e != nil {
+				acc = combine(acc, e, rec(e.To))
+			}
+		}
+		out[n] = acc
+		return acc
+	}
+	rec(t.root)
+	return out
+}
+
+// SubtreeKeyCounts is the leaffix the paper's Delete uses: the number of
+// stored keys at or below every node (a block is completely deleted when
+// its root's count reaches zero).
+func (t *Trie) SubtreeKeyCounts() map[*Node]int {
+	return Leaffix(t, func(n *Node) int {
+		if n.HasValue {
+			return 1
+		}
+		return 0
+	}, func(acc int, _ *Edge, child int) int { return acc + child })
+}

@@ -1,0 +1,91 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+func TestRootfixDepths(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr, _ := buildRandomTrie(r, 300, 120)
+	depths := Rootfix(tr, 0, func(parent int, e *Edge) int {
+		return parent + e.Label.Len()
+	})
+	tr.WalkPreorder(func(n *Node) bool {
+		if depths[n] != n.Depth {
+			t.Fatalf("rootfix depth %d != %d", depths[n], n.Depth)
+		}
+		return true
+	})
+	if len(depths) != tr.NodeCount() {
+		t.Fatalf("rootfix covered %d of %d nodes", len(depths), tr.NodeCount())
+	}
+}
+
+func TestRootfixStrings(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"00", "0101", "011", "11"} {
+		tr.Insert(bitstr.MustParse(k), 1)
+	}
+	strs := Rootfix(tr, bitstr.Empty, func(p bitstr.String, e *Edge) bitstr.String {
+		return p.Concat(e.Label)
+	})
+	tr.WalkPreorder(func(n *Node) bool {
+		if !bitstr.Equal(strs[n], NodeString(n)) {
+			t.Fatalf("rootfix string %q != %q", strs[n], NodeString(n))
+		}
+		return true
+	})
+}
+
+func TestLeaffixSubtreeKeyCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr, keys := buildRandomTrie(r, 250, 90)
+	counts := tr.SubtreeKeyCounts()
+	if counts[tr.Root()] != tr.KeyCount() {
+		t.Fatalf("root count %d != %d", counts[tr.Root()], tr.KeyCount())
+	}
+	// Spot-check: count below a node == number of keys extending its string.
+	checked := 0
+	tr.WalkPreorder(func(n *Node) bool {
+		if checked > 40 {
+			return false
+		}
+		checked++
+		s := NodeString(n)
+		want := 0
+		for _, k := range keys {
+			if bitstr.MustParse(k).HasPrefix(s) {
+				want++
+			}
+		}
+		if counts[n] != want {
+			t.Fatalf("count below %q = %d, want %d", s, counts[n], want)
+		}
+		return true
+	})
+}
+
+func TestLeaffixMaxDepth(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr, _ := buildRandomTrie(r, 150, 80)
+	deepest := Leaffix(tr, func(n *Node) int { return n.Depth },
+		func(acc int, _ *Edge, child int) int {
+			if child > acc {
+				return child
+			}
+			return acc
+		})
+	want := 0
+	tr.WalkPreorder(func(n *Node) bool {
+		if n.Depth > want {
+			want = n.Depth
+		}
+		return true
+	})
+	if deepest[tr.Root()] != want {
+		t.Fatalf("leaffix max depth %d != %d", deepest[tr.Root()], want)
+	}
+}

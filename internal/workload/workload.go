@@ -1,0 +1,183 @@
+// Package workload generates the deterministic, seeded key and query
+// distributions used by the experiments: uniform random bit strings of
+// fixed or variable length, adversarially skewed batches (deep shared
+// prefixes, Zipfian repetition, single-range attacks), and synthetic
+// corpora standing in for the real-world datasets a hardware evaluation
+// would use (repro substitution: no proprietary traces are available, so
+// every distribution is generated; the skew knobs reproduce the
+// adversarial regimes the paper's theorems target).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+// Gen is a deterministic workload generator.
+type Gen struct {
+	r *rand.Rand
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Gen { return &Gen{r: rand.New(rand.NewSource(seed))} }
+
+// FixedLen returns n uniformly random keys of exactly bits bits.
+func (g *Gen) FixedLen(n, bits int) []bitstr.String {
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = g.randBits(bits)
+	}
+	return out
+}
+
+// VarLen returns n keys with lengths uniform in [minBits, maxBits].
+func (g *Gen) VarLen(n, minBits, maxBits int) []bitstr.String {
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = g.randBits(minBits + g.r.Intn(maxBits-minBits+1))
+	}
+	return out
+}
+
+func (g *Gen) randBits(n int) bitstr.String {
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		words[i] = g.r.Uint64()
+	}
+	return bitstr.New(words, n)
+}
+
+// SharedPrefix returns n keys that all extend one random prefix of
+// prefixBits bits with tails of tailBits bits — the worst-case data skew
+// for radix structures (one deep spine).
+func (g *Gen) SharedPrefix(n, prefixBits, tailBits int) []bitstr.String {
+	prefix := g.randBits(prefixBits)
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = prefix.Concat(g.randBits(tailBits))
+	}
+	return out
+}
+
+// PrefixChain returns keys k_1 ⊏ k_2 ⊏ … ⊏ k_n, each extending the
+// previous by stepBits — maximal trie depth per key count.
+func (g *Gen) PrefixChain(n, stepBits int) []bitstr.String {
+	out := make([]bitstr.String, n)
+	cur := bitstr.Empty
+	for i := range out {
+		cur = cur.Concat(g.randBits(stepBits))
+		out[i] = cur
+	}
+	return out
+}
+
+// Zipf returns n queries drawn from the given keys with Zipfian
+// frequency of parameter s ≥ 1 (rank-1 dominates): classic query skew.
+func (g *Gen) Zipf(keys []bitstr.String, n int, s float64) []bitstr.String {
+	if len(keys) == 0 {
+		return nil
+	}
+	z := rand.NewZipf(g.r, s, 1, uint64(len(keys)-1))
+	perm := g.r.Perm(len(keys)) // decouple rank from insertion order
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = keys[perm[z.Uint64()]]
+	}
+	return out
+}
+
+// PointAttack returns n copies of a single stored key: the degenerate
+// limit of query skew (every range-partitioned probe hits one module).
+func (g *Gen) PointAttack(keys []bitstr.String, n int) []bitstr.String {
+	k := keys[g.r.Intn(len(keys))]
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = k
+	}
+	return out
+}
+
+// RangeAttack returns n distinct queries packed into the narrow key
+// interval around one stored key — defeats range partitioning while
+// leaving every query unique.
+func (g *Gen) RangeAttack(keys []bitstr.String, n, tailBits int) []bitstr.String {
+	sorted := append([]bitstr.String(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return bitstr.Compare(sorted[a], sorted[b]) < 0 })
+	base := sorted[len(sorted)/2]
+	out := make([]bitstr.String, n)
+	for i := range out {
+		out[i] = base.Concat(g.randBits(tailBits))
+	}
+	return out
+}
+
+// PrefixQueries derives n queries from stored keys: each query is a
+// random-length prefix of a random key, optionally extended with noise
+// bits, mixing exact hits, interior (hidden-node) hits and divergences.
+func (g *Gen) PrefixQueries(keys []bitstr.String, n, noiseBits int) []bitstr.String {
+	out := make([]bitstr.String, n)
+	for i := range out {
+		k := keys[g.r.Intn(len(keys))]
+		cut := g.r.Intn(k.Len() + 1)
+		q := k.Prefix(cut)
+		if noiseBits > 0 && g.r.Intn(2) == 0 {
+			q = q.Concat(g.randBits(g.r.Intn(noiseBits + 1)))
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// Values returns n deterministic values.
+func (g *Gen) Values(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.r.Uint64() >> 1
+	}
+	return out
+}
+
+// Uints returns n uniformly random integers of the given bit width, for
+// the fixed-width x-fast baseline.
+func (g *Gen) Uints(n, width int) []uint64 {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<uint(width) - 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.r.Uint64() & mask
+	}
+	return out
+}
+
+// IPv4Prefixes synthesizes n routing-table-like entries: prefixes of
+// length 8–32 bits with realistic length mix (most /16–/24), standing in
+// for a public BGP snapshot (repro substitution).
+func (g *Gen) IPv4Prefixes(n int) []bitstr.String {
+	out := make([]bitstr.String, n)
+	for i := range out {
+		var plen int
+		switch v := g.r.Float64(); {
+		case v < 0.05:
+			plen = 8 + g.r.Intn(8)
+		case v < 0.25:
+			plen = 16 + g.r.Intn(4)
+		case v < 0.9:
+			plen = 20 + g.r.Intn(5)
+		default:
+			plen = 25 + g.r.Intn(8)
+		}
+		out[i] = bitstr.FromUint64(uint64(g.r.Uint32())>>uint(32-plen), plen)
+	}
+	return out
+}
+
+// ZipfExponentForSkew maps a [0,1] skew knob to a Zipf exponent in
+// [1.01, 3]; convenience for sweeps.
+func ZipfExponentForSkew(knob float64) float64 {
+	return 1.01 + 2*math.Min(1, math.Max(0, knob))
+}

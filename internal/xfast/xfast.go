@@ -1,0 +1,316 @@
+// Package xfast implements the x-fast trie of Willard [62] over
+// fixed-width integer keys (paper §3.1): a bitwise trie with one hash
+// table per level and descendant ("jump") pointers, giving
+// O(log w)-probe predecessor/successor queries and O(w) updates.
+//
+// PIM-trie uses x-fast tries twice: as the top level of the y-fast trie
+// in the two-layer index of §4.4.2, and (distributed across modules) as
+// the "Distributed x-fast trie" baseline of Table 1.
+package xfast
+
+import "fmt"
+
+// Leaf is a stored key with its value, linked into the ordered leaf list.
+type Leaf struct {
+	Key        uint64
+	Value      uint64
+	Prev, Next *Leaf
+}
+
+// node is an internal trie node at some level; leaves live at level w.
+type node struct {
+	child [2]*node
+	// jump points at the minimum leaf of the right subtree when the left
+	// child is missing, and at the maximum leaf of the left subtree when
+	// the right child is missing; nil when both or neither child exists.
+	jump *Leaf
+	leaf *Leaf // non-nil exactly at the leaf level
+}
+
+// Trie is an x-fast trie over keys of Width bits. The zero value is not
+// usable; call New.
+type Trie struct {
+	width  int
+	levels []map[uint64]*node // levels[i]: i-bit prefixes, levels[0] = root
+	size   int
+	min    *Leaf
+	max    *Leaf
+}
+
+// New returns an empty x-fast trie over keys of the given width (1..64).
+func New(width int) *Trie {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("xfast: width %d out of range", width))
+	}
+	t := &Trie{width: width, levels: make([]map[uint64]*node, width+1)}
+	for i := range t.levels {
+		t.levels[i] = map[uint64]*node{}
+	}
+	return t
+}
+
+// Width returns the key width in bits.
+func (t *Trie) Width() int { return t.width }
+
+// Len returns the number of stored keys.
+func (t *Trie) Len() int { return t.size }
+
+// Min and Max return the extreme leaves (nil when empty).
+func (t *Trie) Min() *Leaf { return t.min }
+func (t *Trie) Max() *Leaf { return t.max }
+
+// prefix returns the i-bit prefix of x, right-aligned.
+func (t *Trie) prefix(x uint64, i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return x >> uint(t.width-i)
+}
+
+// bitAt returns bit i of x counting from the most significant key bit.
+func (t *Trie) bitAt(x uint64, i int) int {
+	return int(x >> uint(t.width-1-i) & 1)
+}
+
+func (t *Trie) checkKey(x uint64) {
+	if t.width < 64 && x >= 1<<uint(t.width) {
+		panic(fmt.Sprintf("xfast: key %d exceeds width %d", x, t.width))
+	}
+}
+
+// Member returns the leaf storing x, or nil.
+func (t *Trie) Member(x uint64) *Leaf {
+	t.checkKey(x)
+	if n := t.levels[t.width][x]; n != nil {
+		return n.leaf
+	}
+	return nil
+}
+
+// LongestPrefixLevel returns the largest i such that the i-bit prefix of
+// x exists in the trie, found by binary search over levels — the
+// O(log w) core of every x-fast query. Probes returns the number of hash
+// table probes used (reported to the PIM cost model by callers).
+func (t *Trie) LongestPrefixLevel(x uint64) (level int, probes int) {
+	t.checkKey(x)
+	if t.size == 0 {
+		return -1, 0
+	}
+	lo, hi := 0, t.width // presence is monotone: prefix i present ⇒ i-1 present
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		probes++
+		if _, ok := t.levels[mid][t.prefix(x, mid)]; ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, probes
+}
+
+// Predecessor returns the largest stored leaf with key <= x, or nil.
+func (t *Trie) Predecessor(x uint64) *Leaf {
+	l, _ := t.PredecessorProbes(x)
+	return l
+}
+
+// PredecessorProbes is Predecessor exposing the probe count.
+func (t *Trie) PredecessorProbes(x uint64) (*Leaf, int) {
+	t.checkKey(x)
+	if t.size == 0 {
+		return nil, 0
+	}
+	level, probes := t.LongestPrefixLevel(x)
+	if level == t.width {
+		return t.levels[t.width][x].leaf, probes
+	}
+	n := t.levels[level][t.prefix(x, level)]
+	// The deepest matching node is missing exactly the child x would take.
+	if t.bitAt(x, level) == 1 {
+		// Right child missing: jump = max of left subtree = pred(x).
+		return n.jump, probes
+	}
+	// Left child missing: jump = min of right subtree = succ(x).
+	if n.jump == nil {
+		return nil, probes
+	}
+	return n.jump.Prev, probes
+}
+
+// Successor returns the smallest stored leaf with key >= x, or nil.
+func (t *Trie) Successor(x uint64) *Leaf {
+	t.checkKey(x)
+	if t.size == 0 {
+		return nil
+	}
+	level, _ := t.LongestPrefixLevel(x)
+	if level == t.width {
+		return t.levels[t.width][x].leaf
+	}
+	n := t.levels[level][t.prefix(x, level)]
+	if t.bitAt(x, level) == 0 {
+		return n.jump // min of right subtree = succ
+	}
+	if n.jump == nil {
+		return nil
+	}
+	return n.jump.Next
+}
+
+// Insert stores value under x, replacing any existing value, and reports
+// whether the key was new. Updates cost O(w) as in Willard's structure.
+func (t *Trie) Insert(x, value uint64) bool {
+	t.checkKey(x)
+	if ln := t.Member(x); ln != nil {
+		ln.Value = value
+		return false
+	}
+	pred := t.Predecessor(x)
+	leaf := &Leaf{Key: x, Value: value}
+	// Link into the ordered list.
+	if pred != nil {
+		leaf.Next = pred.Next
+		leaf.Prev = pred
+		if pred.Next != nil {
+			pred.Next.Prev = leaf
+		}
+		pred.Next = leaf
+	} else {
+		leaf.Next = t.min
+		if t.min != nil {
+			t.min.Prev = leaf
+		}
+		t.min = leaf
+	}
+	if leaf.Next == nil {
+		t.max = leaf
+	}
+	// Materialize the root-to-leaf path.
+	if t.levels[0][0] == nil {
+		t.levels[0][0] = &node{}
+	}
+	cur := t.levels[0][0]
+	for i := 0; i < t.width; i++ {
+		b := t.bitAt(x, i)
+		p := t.prefix(x, i+1)
+		next := t.levels[i+1][p]
+		if next == nil {
+			next = &node{}
+			if i+1 == t.width {
+				next.leaf = leaf
+			}
+			t.levels[i+1][p] = next
+			cur.child[b] = next
+		}
+		cur = next
+	}
+	// Fix jump pointers along the path.
+	cur = t.levels[0][0]
+	for i := 0; i <= t.width; i++ {
+		t.refreshJump(cur, leaf)
+		if i < t.width {
+			cur = cur.child[t.bitAt(x, i)]
+		}
+	}
+	t.size++
+	return true
+}
+
+// refreshJump updates n's jump pointer given that leaf was just inserted
+// somewhere below n.
+func (t *Trie) refreshJump(n *node, leaf *Leaf) {
+	switch {
+	case n.child[0] != nil && n.child[1] != nil:
+		n.jump = nil
+	case n.child[0] == nil && n.child[1] == nil:
+		n.jump = nil // leaf-level node
+	case n.child[0] == nil:
+		// jump = min of right subtree.
+		if n.jump == nil || leaf.Key < n.jump.Key {
+			n.jump = leaf
+		}
+	default:
+		// jump = max of left subtree.
+		if n.jump == nil || leaf.Key > n.jump.Key {
+			n.jump = leaf
+		}
+	}
+}
+
+// Delete removes x, reporting whether it was present.
+func (t *Trie) Delete(x uint64) bool {
+	t.checkKey(x)
+	ln := t.Member(x)
+	if ln == nil {
+		return false
+	}
+	// Unlink from the leaf list.
+	if ln.Prev != nil {
+		ln.Prev.Next = ln.Next
+	} else {
+		t.min = ln.Next
+	}
+	if ln.Next != nil {
+		ln.Next.Prev = ln.Prev
+	} else {
+		t.max = ln.Prev
+	}
+	// Remove childless path nodes bottom-up.
+	for i := t.width; i >= 1; i-- {
+		p := t.prefix(x, i)
+		n := t.levels[i][p]
+		if n.child[0] != nil || n.child[1] != nil {
+			break
+		}
+		delete(t.levels[i], p)
+		parent := t.levels[i-1][t.prefix(x, i-1)]
+		parent.child[t.bitAt(x, i-1)] = nil
+	}
+	if t.size == 1 {
+		delete(t.levels[0], 0)
+	}
+	// Re-derive jump pointers on the remaining path.
+	root := t.levels[0][0]
+	cur := root
+	for i := 0; cur != nil; i++ {
+		switch {
+		case cur.child[0] != nil && cur.child[1] != nil:
+			cur.jump = nil
+		case cur.child[0] == nil && cur.child[1] != nil:
+			if cur.jump == ln || cur.jump == nil {
+				cur.jump = ln.Next // min of right subtree
+			}
+		case cur.child[1] == nil && cur.child[0] != nil:
+			if cur.jump == ln || cur.jump == nil {
+				cur.jump = ln.Prev // max of left subtree
+			}
+		}
+		if i >= t.width {
+			break
+		}
+		cur = cur.child[t.bitAt(x, i)]
+	}
+	t.size--
+	return true
+}
+
+// Ascend calls fn on every leaf in increasing key order until it returns
+// false.
+func (t *Trie) Ascend(fn func(*Leaf) bool) {
+	for l := t.min; l != nil; l = l.Next {
+		if !fn(l) {
+			return
+		}
+	}
+}
+
+// SpaceWords estimates the structure's space in machine words: O(n·w)
+// for n keys — the bound Table 1 charges the distributed x-fast trie.
+func (t *Trie) SpaceWords() int {
+	total := 0
+	for _, m := range t.levels {
+		total += len(m) * 3 // node + table slot
+	}
+	return total + t.size*2
+}

@@ -1,0 +1,262 @@
+package xfast
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracle is a sorted-slice reference for predecessor structures.
+type oracle struct {
+	keys []uint64
+	vals map[uint64]uint64
+}
+
+func newOracle() *oracle { return &oracle{vals: map[uint64]uint64{}} }
+
+func (o *oracle) insert(k, v uint64) {
+	if _, ok := o.vals[k]; !ok {
+		i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= k })
+		o.keys = append(o.keys, 0)
+		copy(o.keys[i+1:], o.keys[i:])
+		o.keys[i] = k
+	}
+	o.vals[k] = v
+}
+
+func (o *oracle) delete(k uint64) bool {
+	if _, ok := o.vals[k]; !ok {
+		return false
+	}
+	delete(o.vals, k)
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= k })
+	o.keys = append(o.keys[:i], o.keys[i+1:]...)
+	return true
+}
+
+func (o *oracle) pred(x uint64) (uint64, bool) {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] > x })
+	if i == 0 {
+		return 0, false
+	}
+	return o.keys[i-1], true
+}
+
+func (o *oracle) succ(x uint64) (uint64, bool) {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= x })
+	if i == len(o.keys) {
+		return 0, false
+	}
+	return o.keys[i], true
+}
+
+func checkAgainstOracle(t *testing.T, tr *Trie, o *oracle, width int, probes []uint64) {
+	t.Helper()
+	if tr.Len() != len(o.keys) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(o.keys))
+	}
+	for _, x := range probes {
+		if p := tr.Predecessor(x); p == nil {
+			if _, ok := o.pred(x); ok {
+				t.Fatalf("Predecessor(%d) = nil, oracle has one", x)
+			}
+		} else if want, ok := o.pred(x); !ok || want != p.Key {
+			t.Fatalf("Predecessor(%d) = %d, want %d (%v)", x, p.Key, want, ok)
+		}
+		if s := tr.Successor(x); s == nil {
+			if _, ok := o.succ(x); ok {
+				t.Fatalf("Successor(%d) = nil, oracle has one", x)
+			}
+		} else if want, ok := o.succ(x); !ok || want != s.Key {
+			t.Fatalf("Successor(%d) = %d, want %d (%v)", x, s.Key, want, ok)
+		}
+		if m := tr.Member(x); (m != nil) != (func() bool { _, ok := o.vals[x]; return ok })() {
+			t.Fatalf("Member(%d) = %v", x, m)
+		} else if m != nil && m.Value != o.vals[x] {
+			t.Fatalf("Member(%d).Value = %d, want %d", x, m.Value, o.vals[x])
+		}
+	}
+}
+
+func TestSmallWidthExhaustive(t *testing.T) {
+	// Width 6: exhaustively probe every key after every mutation.
+	r := rand.New(rand.NewSource(1))
+	tr := New(6)
+	o := newOracle()
+	all := make([]uint64, 64)
+	for i := range all {
+		all[i] = uint64(i)
+	}
+	for step := 0; step < 800; step++ {
+		x := uint64(r.Intn(64))
+		if r.Intn(2) == 0 {
+			v := r.Uint64()
+			tr.Insert(x, v)
+			o.insert(x, v)
+		} else {
+			got := tr.Delete(x)
+			want := o.delete(x)
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, x, got, want)
+			}
+		}
+		checkAgainstOracle(t, tr, o, 6, all)
+	}
+}
+
+func TestRandomized64Bit(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr := New(64)
+	o := newOracle()
+	var pool []uint64
+	probes := make([]uint64, 0, 64)
+	for step := 0; step < 3000; step++ {
+		var x uint64
+		if len(pool) > 0 && r.Intn(2) == 0 {
+			x = pool[r.Intn(len(pool))] + uint64(r.Intn(3)) - 1
+		} else {
+			x = r.Uint64()
+		}
+		switch r.Intn(3) {
+		case 0, 1:
+			v := r.Uint64()
+			tr.Insert(x, v)
+			o.insert(x, v)
+			pool = append(pool, x)
+		default:
+			if tr.Delete(x) != o.delete(x) {
+				t.Fatalf("step %d: delete mismatch on %d", step, x)
+			}
+		}
+		if step%100 == 0 {
+			probes = probes[:0]
+			for i := 0; i < 32; i++ {
+				if len(pool) > 0 && i%2 == 0 {
+					probes = append(probes, pool[r.Intn(len(pool))])
+				} else {
+					probes = append(probes, r.Uint64())
+				}
+			}
+			checkAgainstOracle(t, tr, o, 64, probes)
+		}
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New(16)
+	if tr.Predecessor(5) != nil || tr.Successor(5) != nil || tr.Member(5) != nil {
+		t.Fatal("empty trie returned results")
+	}
+	if tr.Min() != nil || tr.Max() != nil || tr.Len() != 0 {
+		t.Fatal("empty trie has extremes")
+	}
+}
+
+func TestLeafListOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr := New(32)
+	keys := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := uint64(r.Uint32())
+		tr.Insert(k, 0)
+		keys[k] = true
+	}
+	var got []uint64
+	tr.Ascend(func(l *Leaf) bool {
+		got = append(got, l.Key)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Ascend yielded %d of %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("leaf list out of order at %d", i)
+		}
+	}
+	if tr.Min().Key != got[0] || tr.Max().Key != got[len(got)-1] {
+		t.Fatal("Min/Max disagree with leaf list")
+	}
+}
+
+func TestProbeCountLogarithmic(t *testing.T) {
+	tr := New(64)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		tr.Insert(r.Uint64(), 0)
+	}
+	for i := 0; i < 100; i++ {
+		_, probes := tr.PredecessorProbes(r.Uint64())
+		if probes > 7 { // ceil(log2(64+1)) = 7
+			t.Fatalf("predecessor used %d probes", probes)
+		}
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := New(8)
+	if !tr.Insert(5, 1) {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert(5, 2) {
+		t.Fatal("second insert reported new")
+	}
+	if tr.Member(5).Value != 2 || tr.Len() != 1 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestKeyRangePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized key")
+		}
+	}()
+	New(8).Insert(256, 0)
+}
+
+func TestSpaceWordsScalesWithWidth(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 256
+	w16, w64 := New(16), New(64)
+	for i := 0; i < n; i++ {
+		k := r.Uint64()
+		w16.Insert(k&0xffff, 0)
+		w64.Insert(k, 0)
+	}
+	// O(n·w) space: the 64-bit structure must be substantially larger.
+	if w64.SpaceWords() < 2*w16.SpaceWords() {
+		t.Fatalf("space: w64=%d w16=%d", w64.SpaceWords(), w16.SpaceWords())
+	}
+}
+
+func BenchmarkPredecessor(b *testing.B) {
+	tr := New(64)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 1<<14; i++ {
+		tr.Insert(r.Uint64(), 0)
+	}
+	qs := make([]uint64, 1024)
+	for i := range qs {
+		qs[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Predecessor(qs[i&1023])
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := New(64)
+	r := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 1<<12)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<12-1)]
+		tr.Insert(k, 0)
+		tr.Delete(k)
+	}
+}

@@ -1,0 +1,197 @@
+package yfast
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+// TwoLayerIndex is the second-layer structure of §4.4.2 ("Efficient
+// HashMatching", Figure 5). It maintains a set K of bit strings, each
+// strictly shorter than w bits, and answers: for a query string Q
+// (also < w bits), return the element K_i whose LCP with Q is longest;
+// among ties, the one that no other tied element is a proper prefix of —
+// i.e. the shortest. That guarantee is what lets the caller land on a
+// critical block root or one of its direct children with O(log w) work.
+//
+// Implementation, following the paper: every stored string S is padded
+// to two w-bit integers S0 (with 0s) and S1 (with 1s); both go into a
+// y-fast trie. Because distinct strings can pad to the same integer,
+// each padded integer carries a w-bit validity vector recording which
+// prefix lengths correspond to stored strings, plus their payloads.
+type TwoLayerIndex struct {
+	w    int
+	trie *Trie
+	// meta[padded integer] = validity/payload table.
+	meta map[uint64]*padMeta
+	size int
+}
+
+// padMeta records the stored strings that pad to one integer.
+type padMeta struct {
+	valid    uint64         // bit ℓ set ⇔ a stored string of length ℓ pads here
+	payloads map[int]uint64 // length -> payload
+}
+
+// NewTwoLayer returns an empty index for strings of length < w (w ≤ 64).
+func NewTwoLayer(w int) *TwoLayerIndex {
+	if w < 2 || w > 64 {
+		panic(fmt.Sprintf("yfast: two-layer width %d out of range", w))
+	}
+	return &TwoLayerIndex{w: w, trie: New(w), meta: map[uint64]*padMeta{}}
+}
+
+// Len returns the number of stored strings.
+func (x *TwoLayerIndex) Len() int { return x.size }
+
+// pad returns S padded to w bits with bit b, as an integer.
+func (x *TwoLayerIndex) pad(s bitstr.String, b byte) uint64 {
+	return s.PadTo(x.w, b).Uint64()
+}
+
+// Insert stores payload under S (0 ≤ |S| < w), replacing any previous
+// payload, and reports whether S was new.
+func (x *TwoLayerIndex) Insert(s bitstr.String, payload uint64) bool {
+	if s.Len() >= x.w {
+		panic(fmt.Sprintf("yfast: two-layer string of %d bits ≥ width %d", s.Len(), x.w))
+	}
+	fresh := false
+	for _, b := range []byte{0, 1} {
+		p := x.pad(s, b)
+		m := x.meta[p]
+		if m == nil {
+			m = &padMeta{payloads: map[int]uint64{}}
+			x.meta[p] = m
+			x.trie.Insert(p, p)
+		}
+		if m.valid&(1<<uint(s.Len())) == 0 {
+			m.valid |= 1 << uint(s.Len())
+			fresh = true
+		}
+		m.payloads[s.Len()] = payload
+	}
+	if fresh {
+		x.size++
+	}
+	return fresh
+}
+
+// Delete removes S, reporting whether it was present.
+func (x *TwoLayerIndex) Delete(s bitstr.String) bool {
+	if s.Len() >= x.w {
+		return false
+	}
+	present := false
+	for _, b := range []byte{0, 1} {
+		p := x.pad(s, b)
+		m := x.meta[p]
+		if m == nil || m.valid&(1<<uint(s.Len())) == 0 {
+			continue
+		}
+		present = true
+		m.valid &^= 1 << uint(s.Len())
+		delete(m.payloads, s.Len())
+		if m.valid == 0 {
+			delete(x.meta, p)
+			x.trie.Delete(p)
+		}
+	}
+	if present {
+		x.size--
+	}
+	return present
+}
+
+// Result is a lookup answer: the stored string (by length and padded
+// form), and its payload.
+type Result struct {
+	Str     bitstr.String
+	Payload uint64
+}
+
+// Lookup answers the §4.4.2 query for Q (|Q| < w): the stored string
+// with the longest LCP with Q, tie-broken to the shortest. It probes the
+// y-fast predecessors/successors of Q0 and Q1 and binary-searches their
+// validity vectors, O(log w) whp.
+func (x *TwoLayerIndex) Lookup(q bitstr.String) (Result, bool) {
+	if q.Len() >= x.w {
+		panic(fmt.Sprintf("yfast: two-layer query of %d bits ≥ width %d", q.Len(), x.w))
+	}
+	if x.size == 0 {
+		return Result{}, false
+	}
+	var cands []uint64
+	add := func(k uint64, ok bool) {
+		if ok {
+			cands = append(cands, k)
+		}
+	}
+	q0, q1 := x.pad(q, 0), x.pad(q, 1)
+	k, _, ok := x.trie.Predecessor(q0)
+	add(k, ok)
+	k, _, ok = x.trie.Successor(q0)
+	add(k, ok)
+	k, _, ok = x.trie.Predecessor(q1)
+	add(k, ok)
+	k, _, ok = x.trie.Successor(q1)
+	add(k, ok)
+
+	bestLCP, bestLen := -1, -1
+	var bestPad uint64
+	for _, c := range cands {
+		m := x.meta[c]
+		if m == nil || m.valid == 0 {
+			continue
+		}
+		// LCP between the candidate's padded bits and Q (≤ |Q|).
+		l := lcpInt(c, q.PadTo(x.w, 0).Uint64(), x.w)
+		l2 := lcpInt(c, q.PadTo(x.w, 1).Uint64(), x.w)
+		if l2 > l {
+			l = l2
+		}
+		if l > q.Len() {
+			l = q.Len()
+		}
+		// Shortest valid length ≥ l, else longest valid length < l.
+		length, lcp := pickValid(m.valid, l)
+		if lcp > bestLCP || (lcp == bestLCP && length < bestLen) {
+			bestLCP, bestLen, bestPad = lcp, length, c
+		}
+	}
+	if bestLen < 0 {
+		return Result{}, false
+	}
+	m := x.meta[bestPad]
+	return Result{
+		Str:     bitstr.FromUint64(bestPad, x.w).Prefix(bestLen),
+		Payload: m.payloads[bestLen],
+	}, true
+}
+
+// pickValid returns (length, achievedLCP) for the best stored length in
+// the validity vector relative to an LCP bound l: a stored prefix of
+// length ℓ has LCP min(ℓ, l) with Q, so the best is the shortest ℓ ≥ l
+// (LCP l), or failing that the longest ℓ < l (LCP ℓ).
+func pickValid(valid uint64, l int) (length, lcp int) {
+	geMask := ^uint64(0) << uint(l)
+	if up := valid & geMask; up != 0 {
+		ℓ := bits.TrailingZeros64(up)
+		return ℓ, l
+	}
+	down := valid &^ geMask
+	if down == 0 {
+		return -1, -1
+	}
+	ℓ := 63 - bits.LeadingZeros64(down)
+	return ℓ, ℓ
+}
+
+// lcpInt returns the LCP in bits of two w-bit integers read MSB-first.
+func lcpInt(a, b uint64, w int) int {
+	x := (a ^ b) << uint(64-w)
+	if x == 0 {
+		return w
+	}
+	return bits.LeadingZeros64(x)
+}

@@ -1,0 +1,217 @@
+package yfast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+func randomShortString(r *rand.Rand, w int) bitstr.String {
+	n := r.Intn(w)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte('0' + byte(r.Intn(2)))
+	}
+	return bitstr.MustParse(b.String())
+}
+
+// bruteMaxLCP returns the maximum LCP any stored string achieves with q.
+func bruteMaxLCP(stored map[string]uint64, q bitstr.String) (int, bool) {
+	best := -1
+	for s := range stored {
+		if l := bitstr.LCP(bitstr.MustParse(s), q); l > best {
+			best = l
+		}
+	}
+	return best, best >= 0
+}
+
+// violatesPrefixRule reports whether some stored string with the same LCP
+// as the result is a proper prefix of it — the one outcome §4.4.2 forbids
+// (it would name a non-direct descendant instead of a direct child).
+func violatesPrefixRule(stored map[string]uint64, q bitstr.String, res string, lcp int) bool {
+	for s := range stored {
+		if len(s) < len(res) && res[:len(s)] == s &&
+			bitstr.LCP(bitstr.MustParse(s), q) == lcp {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTwoLayerAgainstBruteForce(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 64} {
+		r := rand.New(rand.NewSource(int64(w)))
+		idx := NewTwoLayer(w)
+		stored := map[string]uint64{}
+		for step := 0; step < 2500; step++ {
+			switch r.Intn(5) {
+			case 0, 1: // insert
+				s := randomShortString(r, w)
+				p := uint64(r.Intn(1000))
+				idx.Insert(s, p)
+				stored[s.String()] = p
+			case 2: // delete
+				s := randomShortString(r, w)
+				got := idx.Delete(s)
+				_, want := stored[s.String()]
+				if got != want {
+					t.Fatalf("w=%d step %d: Delete(%q)=%v want %v", w, step, s, got, want)
+				}
+				delete(stored, s.String())
+			default: // lookup
+				q := randomShortString(r, w)
+				res, ok := idx.Lookup(q)
+				wantLCP, wantOK := bruteMaxLCP(stored, q)
+				if ok != wantOK {
+					t.Fatalf("w=%d step %d: Lookup(%q) ok=%v want %v", w, step, q, ok, wantOK)
+				}
+				if !ok {
+					continue
+				}
+				// Paper contract: the result is a stored string achieving the
+				// maximum LCP, and no stored string with the same LCP is a
+				// proper prefix of it.
+				p, present := stored[res.Str.String()]
+				if !present {
+					t.Fatalf("w=%d step %d: Lookup(%q) returned unstored %q", w, step, q, res.Str)
+				}
+				if p != res.Payload {
+					t.Fatalf("w=%d: payload %d, want %d", w, res.Payload, p)
+				}
+				gotLCP := bitstr.LCP(res.Str, q)
+				if gotLCP != wantLCP {
+					t.Fatalf("w=%d step %d: Lookup(%q) = %q with lcp %d, max is %d",
+						w, step, q, res.Str, gotLCP, wantLCP)
+				}
+				if violatesPrefixRule(stored, q, res.Str.String(), gotLCP) {
+					t.Fatalf("w=%d step %d: Lookup(%q) = %q has a tied stored proper prefix",
+						w, step, q, res.Str)
+				}
+			}
+			if idx.Len() != len(stored) {
+				t.Fatalf("w=%d: Len=%d stored=%d", w, idx.Len(), len(stored))
+			}
+		}
+	}
+}
+
+func TestTwoLayerFigure5(t *testing.T) {
+	// Figure 5's worked example uses w = 3: padded integers with validity
+	// vectors. Store S_rem strings "01" and "0" ... the figure stores
+	// block-root remainders; querying S'_rem = "0" must return "0" itself,
+	// and querying "01" with {"0","01"} stored returns "01".
+	idx := NewTwoLayer(3)
+	idx.Insert(bitstr.MustParse("0"), 10)
+	idx.Insert(bitstr.MustParse("01"), 20)
+	res, ok := idx.Lookup(bitstr.MustParse("01"))
+	if !ok || res.Str.String() != "01" || res.Payload != 20 {
+		t.Fatalf("Lookup(01) = %+v, %v", res, ok)
+	}
+	res, ok = idx.Lookup(bitstr.MustParse("0"))
+	if !ok || res.Str.String() != "0" || res.Payload != 10 {
+		t.Fatalf("Lookup(0) = %+v, %v", res, ok)
+	}
+	// Query "00": LCP("0") = 1, LCP("01") = 1; tie-break picks the
+	// shortest, "0" — the direct-child guarantee of §4.4.2.
+	res, ok = idx.Lookup(bitstr.MustParse("00"))
+	if !ok || res.Str.String() != "0" {
+		t.Fatalf("Lookup(00) = %+v, %v", res, ok)
+	}
+}
+
+func TestTwoLayerEmptyStringElement(t *testing.T) {
+	idx := NewTwoLayer(8)
+	idx.Insert(bitstr.Empty, 5)
+	res, ok := idx.Lookup(bitstr.MustParse("1010101"))
+	if !ok || res.Str.Len() != 0 || res.Payload != 5 {
+		t.Fatalf("empty-string element not found: %+v %v", res, ok)
+	}
+}
+
+func TestTwoLayerEmptyIndex(t *testing.T) {
+	idx := NewTwoLayer(8)
+	if _, ok := idx.Lookup(bitstr.MustParse("101")); ok {
+		t.Fatal("lookup on empty index succeeded")
+	}
+}
+
+func TestTwoLayerInsertOverwrite(t *testing.T) {
+	idx := NewTwoLayer(8)
+	s := bitstr.MustParse("110")
+	if !idx.Insert(s, 1) {
+		t.Fatal("first insert not new")
+	}
+	if idx.Insert(s, 2) {
+		t.Fatal("second insert reported new")
+	}
+	res, _ := idx.Lookup(s)
+	if res.Payload != 2 {
+		t.Fatalf("payload = %d", res.Payload)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestTwoLayerOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for |S| >= w")
+		}
+	}()
+	NewTwoLayer(4).Insert(bitstr.MustParse("1111"), 0)
+}
+
+func TestPickValid(t *testing.T) {
+	cases := []struct {
+		valid       uint64
+		l           int
+		length, lcp int
+	}{
+		{0b0100, 2, 2, 2}, // exact
+		{0b0100, 1, 2, 1}, // shortest ≥ l
+		{0b0100, 3, 2, 2}, // longest < l
+		{0b1010, 2, 3, 2}, // 3 ≥ 2 beats 1 < 2
+		{0b0010, 0, 1, 0}, // only longer
+		{0, 3, -1, -1},    // nothing stored
+		{0b1, 0, 0, 0},    // empty string stored
+	}
+	for _, c := range cases {
+		length, lcp := pickValid(c.valid, c.l)
+		if length != c.length || lcp != c.lcp {
+			t.Errorf("pickValid(%b,%d) = (%d,%d), want (%d,%d)", c.valid, c.l, length, lcp, c.length, c.lcp)
+		}
+	}
+}
+
+func TestLcpInt(t *testing.T) {
+	// lcpInt takes right-aligned w-bit integers (as bitstr.Uint64 yields).
+	if got := lcpInt(0b101, 0b100, 3); got != 2 {
+		t.Fatalf("lcpInt(101,100) = %d, want 2", got)
+	}
+	if got := lcpInt(0b101, 0b101, 3); got != 3 {
+		t.Fatalf("lcpInt equal = %d, want 3", got)
+	}
+	if got := lcpInt(0b001, 0b101, 3); got != 0 {
+		t.Fatalf("lcpInt(001,101) = %d, want 0", got)
+	}
+}
+
+func BenchmarkTwoLayerLookup(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	idx := NewTwoLayer(64)
+	for i := 0; i < 4096; i++ {
+		idx.Insert(randomShortString(r, 64), uint64(i))
+	}
+	qs := make([]bitstr.String, 256)
+	for i := range qs {
+		qs[i] = randomShortString(r, 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(qs[i&255])
+	}
+}

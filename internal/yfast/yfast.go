@@ -1,0 +1,257 @@
+// Package yfast implements the y-fast trie of Willard [62] — an x-fast
+// trie over bucket representatives with Θ(w)-sized sorted buckets — and,
+// on top of it, the two-layer index of paper §4.4.2: the structure each
+// meta-block uses to map the sub-word remainder strings (S_rem) of block
+// roots to meta-tree nodes, with padded keys and validity vectors.
+package yfast
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/pimlab/pimtrie/internal/xfast"
+)
+
+// entry is a key-value pair inside a bucket.
+type entry struct {
+	key uint64
+	val uint64
+}
+
+// bucket is a sorted run of entries; buckets are kept between minFill and
+// maxFill entries (except the only bucket of a small trie) and chained in
+// key order.
+type bucket struct {
+	entries    []entry
+	rep        uint64 // the representative registered in the x-fast top
+	id         uint64 // handle under which the x-fast top knows this bucket
+	prev, next *bucket
+}
+
+// Trie is a y-fast trie over keys of Width bits with O(n) space and
+// O(log w) expected-time queries and updates.
+type Trie struct {
+	width   int
+	top     *xfast.Trie // representatives -> *bucket
+	head    *bucket
+	size    int
+	maxFill int
+	minFill int
+	nextID  uint64
+	ids     map[uint64]*bucket // bucket handle -> bucket (x-fast stores only uint64s)
+}
+
+// New returns an empty y-fast trie over keys of the given width (1..64).
+func New(width int) *Trie {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("yfast: width %d out of range", width))
+	}
+	w := width
+	if w < 4 {
+		w = 4
+	}
+	return &Trie{
+		width:   width,
+		top:     xfast.New(width),
+		maxFill: 2 * w,
+		minFill: w / 4,
+		ids:     map[uint64]*bucket{},
+	}
+}
+
+// Len returns the number of stored keys.
+func (t *Trie) Len() int { return t.size }
+
+// Width returns the key width in bits.
+func (t *Trie) Width() int { return t.width }
+
+// registerBucket stores b in the x-fast top under its representative.
+func (t *Trie) registerBucket(b *bucket) {
+	t.nextID++
+	b.id = t.nextID
+	t.ids[b.id] = b
+	t.top.Insert(b.rep, b.id)
+}
+
+func (t *Trie) bucketOf(leaf *xfast.Leaf) *bucket {
+	return t.ids[leaf.Value]
+}
+
+// findBucket returns the bucket whose key range should contain x: the
+// bucket with the largest representative <= x, or the first bucket.
+func (t *Trie) findBucket(x uint64) *bucket {
+	if leaf := t.top.Predecessor(x); leaf != nil {
+		return t.bucketOf(leaf)
+	}
+	return t.head
+}
+
+// Insert stores value under x, replacing any existing value, and reports
+// whether the key was new.
+func (t *Trie) Insert(x, value uint64) bool {
+	t.checkKey(x)
+	b := t.findBucket(x)
+	if b == nil {
+		b = &bucket{rep: x}
+		t.head = b
+		t.registerBucket(b)
+	}
+	i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= x })
+	if i < len(b.entries) && b.entries[i].key == x {
+		b.entries[i].val = value
+		return false
+	}
+	b.entries = append(b.entries, entry{})
+	copy(b.entries[i+1:], b.entries[i:])
+	b.entries[i] = entry{key: x, val: value}
+	t.size++
+	// Keep rep <= every key in the bucket (rep is the range's lower end);
+	// only the head bucket can receive keys below its rep.
+	if x < b.rep {
+		t.top.Delete(b.rep)
+		b.rep = x
+		t.top.Insert(b.rep, b.id)
+	}
+	if len(b.entries) > t.maxFill {
+		t.split(b)
+	}
+	return true
+}
+
+// split divides an overfull bucket into two halves, registering the new
+// right bucket's representative in the x-fast top.
+func (t *Trie) split(b *bucket) {
+	mid := len(b.entries) / 2
+	right := &bucket{
+		entries: append([]entry(nil), b.entries[mid:]...),
+		rep:     b.entries[mid].key,
+		prev:    b,
+		next:    b.next,
+	}
+	b.entries = b.entries[:mid:mid]
+	if b.next != nil {
+		b.next.prev = right
+	}
+	b.next = right
+	t.registerBucket(right)
+}
+
+// Delete removes x, reporting whether it was present.
+func (t *Trie) Delete(x uint64) bool {
+	t.checkKey(x)
+	b := t.findBucket(x)
+	if b == nil {
+		return false
+	}
+	i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= x })
+	if i >= len(b.entries) || b.entries[i].key != x {
+		return false
+	}
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	t.size--
+	if len(b.entries) < t.minFill {
+		t.rebalance(b)
+	}
+	return true
+}
+
+// rebalance merges an underfull bucket with a neighbor, re-splitting if
+// the merge overfills.
+func (t *Trie) rebalance(b *bucket) {
+	if b.prev == nil && b.next == nil {
+		if len(b.entries) == 0 {
+			t.top.Delete(b.rep)
+			delete(t.ids, b.id)
+			t.head = nil
+		}
+		return
+	}
+	// Merge into the left neighbor when possible, else pull the right
+	// neighbor in.
+	var left, right *bucket
+	if b.prev != nil {
+		left, right = b.prev, b
+	} else {
+		left, right = b, b.next
+	}
+	left.entries = append(left.entries, right.entries...)
+	left.next = right.next
+	if right.next != nil {
+		right.next.prev = left
+	}
+	t.top.Delete(right.rep)
+	delete(t.ids, right.id)
+	if len(left.entries) > t.maxFill {
+		t.split(left)
+	}
+}
+
+func (t *Trie) checkKey(x uint64) {
+	if t.width < 64 && x >= 1<<uint(t.width) {
+		panic(fmt.Sprintf("yfast: key %d exceeds width %d", x, t.width))
+	}
+}
+
+// Get returns the value stored under x.
+func (t *Trie) Get(x uint64) (uint64, bool) {
+	b := t.findBucket(x)
+	if b == nil {
+		return 0, false
+	}
+	i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= x })
+	if i < len(b.entries) && b.entries[i].key == x {
+		return b.entries[i].val, true
+	}
+	return 0, false
+}
+
+// Predecessor returns the largest stored key <= x.
+func (t *Trie) Predecessor(x uint64) (key, val uint64, ok bool) {
+	t.checkKey(x)
+	b := t.findBucket(x)
+	for b != nil {
+		i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key > x })
+		if i > 0 {
+			e := b.entries[i-1]
+			return e.key, e.val, true
+		}
+		b = b.prev
+	}
+	return 0, 0, false
+}
+
+// Successor returns the smallest stored key >= x.
+func (t *Trie) Successor(x uint64) (key, val uint64, ok bool) {
+	t.checkKey(x)
+	b := t.findBucket(x)
+	if b == nil {
+		return 0, 0, false
+	}
+	for b != nil {
+		i := sort.Search(len(b.entries), func(i int) bool { return b.entries[i].key >= x })
+		if i < len(b.entries) {
+			e := b.entries[i]
+			return e.key, e.val, true
+		}
+		b = b.next
+	}
+	return 0, 0, false
+}
+
+// Ascend calls fn on every (key, value) in increasing key order until fn
+// returns false.
+func (t *Trie) Ascend(fn func(key, val uint64) bool) {
+	for b := t.head; b != nil; b = b.next {
+		for _, e := range b.entries {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// SpaceWords estimates the structure's space in words: O(n) entries plus
+// O(n/w · w) for the x-fast top over representatives.
+func (t *Trie) SpaceWords() int {
+	return t.size*2 + t.top.SpaceWords()
+}

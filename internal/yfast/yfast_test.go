@@ -1,0 +1,209 @@
+package yfast
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type oracle struct {
+	keys []uint64
+	vals map[uint64]uint64
+}
+
+func newOracle() *oracle { return &oracle{vals: map[uint64]uint64{}} }
+
+func (o *oracle) insert(k, v uint64) {
+	if _, ok := o.vals[k]; !ok {
+		i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= k })
+		o.keys = append(o.keys, 0)
+		copy(o.keys[i+1:], o.keys[i:])
+		o.keys[i] = k
+	}
+	o.vals[k] = v
+}
+
+func (o *oracle) delete(k uint64) bool {
+	if _, ok := o.vals[k]; !ok {
+		return false
+	}
+	delete(o.vals, k)
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= k })
+	o.keys = append(o.keys[:i], o.keys[i+1:]...)
+	return true
+}
+
+func (o *oracle) pred(x uint64) (uint64, bool) {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] > x })
+	if i == 0 {
+		return 0, false
+	}
+	return o.keys[i-1], true
+}
+
+func (o *oracle) succ(x uint64) (uint64, bool) {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= x })
+	if i == len(o.keys) {
+		return 0, false
+	}
+	return o.keys[i], true
+}
+
+func verify(t *testing.T, tr *Trie, o *oracle, probes []uint64) {
+	t.Helper()
+	if tr.Len() != len(o.keys) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(o.keys))
+	}
+	for _, x := range probes {
+		pk, _, pok := tr.Predecessor(x)
+		wk, wok := o.pred(x)
+		if pok != wok || (pok && pk != wk) {
+			t.Fatalf("Predecessor(%d) = %d,%v want %d,%v", x, pk, pok, wk, wok)
+		}
+		sk, _, sok := tr.Successor(x)
+		wk, wok = o.succ(x)
+		if sok != wok || (sok && sk != wk) {
+			t.Fatalf("Successor(%d) = %d,%v want %d,%v", x, sk, sok, wk, wok)
+		}
+		v, ok := tr.Get(x)
+		wv, wok2 := o.vals[x]
+		if ok != wok2 || (ok && v != wv) {
+			t.Fatalf("Get(%d) = %d,%v want %d,%v", x, v, ok, wv, wok2)
+		}
+	}
+}
+
+func TestYFastSmallWidthExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(8)
+	o := newOracle()
+	all := make([]uint64, 256)
+	for i := range all {
+		all[i] = uint64(i)
+	}
+	for step := 0; step < 1500; step++ {
+		x := uint64(r.Intn(256))
+		if r.Intn(3) != 0 {
+			v := r.Uint64()
+			tr.Insert(x, v)
+			o.insert(x, v)
+		} else {
+			if tr.Delete(x) != o.delete(x) {
+				t.Fatalf("step %d: delete mismatch on %d", step, x)
+			}
+		}
+		if step%50 == 0 {
+			verify(t, tr, o, all)
+		}
+	}
+	verify(t, tr, o, all)
+}
+
+func TestYFast64BitRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr := New(64)
+	o := newOracle()
+	var pool []uint64
+	for step := 0; step < 5000; step++ {
+		var x uint64
+		if len(pool) > 0 && r.Intn(2) == 0 {
+			x = pool[r.Intn(len(pool))] ^ uint64(r.Intn(4))
+		} else {
+			x = r.Uint64()
+		}
+		if r.Intn(3) != 0 {
+			v := r.Uint64()
+			tr.Insert(x, v)
+			o.insert(x, v)
+			pool = append(pool, x)
+		} else {
+			if tr.Delete(x) != o.delete(x) {
+				t.Fatalf("step %d: delete mismatch", step)
+			}
+		}
+		if step%250 == 0 {
+			probes := make([]uint64, 0, 40)
+			for i := 0; i < 20; i++ {
+				probes = append(probes, r.Uint64())
+				if len(pool) > 0 {
+					probes = append(probes, pool[r.Intn(len(pool))])
+				}
+			}
+			verify(t, tr, o, probes)
+		}
+	}
+}
+
+func TestYFastAscendSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr := New(32)
+	n := 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(uint64(r.Uint32()), uint64(i))
+	}
+	prev := uint64(0)
+	count := 0
+	tr.Ascend(func(k, v uint64) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("Ascend out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != tr.Len() {
+		t.Fatalf("Ascend visited %d of %d", count, tr.Len())
+	}
+}
+
+func TestYFastSpaceLinear(t *testing.T) {
+	// O(n) space: unlike x-fast, doubling width must not double space.
+	r := rand.New(rand.NewSource(4))
+	n := 4096
+	tr := New(64)
+	for i := 0; i < n; i++ {
+		tr.Insert(r.Uint64(), 0)
+	}
+	if sw := tr.SpaceWords(); sw > 40*n {
+		t.Fatalf("space %d words for %d keys — superlinear", sw, n)
+	}
+}
+
+func TestYFastBucketInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := New(16)
+	present := map[uint64]bool{}
+	for step := 0; step < 8000; step++ {
+		x := uint64(r.Intn(1 << 16))
+		if r.Intn(2) == 0 {
+			tr.Insert(x, 0)
+			present[x] = true
+		} else {
+			tr.Delete(x)
+			delete(present, x)
+		}
+	}
+	// Walk the bucket chain: sizes within bounds (except a single bucket),
+	// ordered, and totals correct.
+	count := 0
+	nBuckets := 0
+	var last uint64
+	first := true
+	for b := tr.head; b != nil; b = b.next {
+		nBuckets++
+		count += len(b.entries)
+		if tr.head.next != nil && len(b.entries) > tr.maxFill {
+			t.Fatalf("bucket of %d entries exceeds max %d", len(b.entries), tr.maxFill)
+		}
+		for _, e := range b.entries {
+			if !first && e.key <= last {
+				t.Fatalf("bucket chain out of order")
+			}
+			last = e.key
+			first = false
+		}
+	}
+	if count != len(present) || count != tr.Len() {
+		t.Fatalf("chain holds %d keys, want %d", count, len(present))
+	}
+}

@@ -1,0 +1,145 @@
+// Package zfast implements a z-fast-style trie (Belazzougui, Boldi,
+// Vigna [8]; paper §3.1): a static compressed binary trie of bounded
+// height indexed by handle hashes so that the deepest node whose string
+// is a prefix of a query can be located with a fat binary search in
+// O(log h) hash probes whp, h being the trie height.
+//
+// PIM-trie uses these as local shortcut structures (§4.4.2): one per
+// pivot node, of height at most w bits, so lookups cost O(log w). The
+// implementation verifies candidates bit-wise after the search, so a
+// hash collision can only cost extra probes, never a wrong answer.
+package zfast
+
+import (
+	"math/bits"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// Index is a static z-fast index over the compressed nodes of a trie.
+type Index struct {
+	h       *hashing.Hasher
+	root    *trie.Node
+	handles map[hashing.Value]*trie.Node // handle hash -> node
+	extents map[*trie.Node]bitstr.String // node -> its represented string
+	height  int
+	// Probes counts hash probes since construction (cost-model telemetry).
+	Probes int
+}
+
+// Build indexes every compressed node of t. The hasher must be the same
+// instance used to hash the query prefixes.
+func Build(t *trie.Trie, h *hashing.Hasher) *Index {
+	ix := &Index{
+		h:       h,
+		root:    t.Root(),
+		handles: map[hashing.Value]*trie.Node{},
+		extents: map[*trie.Node]bitstr.String{},
+	}
+	var rec func(n *trie.Node, s bitstr.String, hv hashing.Value)
+	rec = func(n *trie.Node, s bitstr.String, hv hashing.Value) {
+		ix.extents[n] = s
+		if n.Depth > ix.height {
+			ix.height = n.Depth
+		}
+		if n.Parent != nil {
+			// Handle = extent prefix whose length is the 2-fattest number
+			// in (parent depth, depth].
+			f := twoFattest(n.Parent.Depth, n.Depth)
+			ix.handles[h.Hash(s.Prefix(f))] = n
+		}
+		for b := 0; b < 2; b++ {
+			if e := n.Child[b]; e != nil {
+				rec(e.To, s.Concat(e.Label), h.Extend(hv, e.Label))
+			}
+		}
+	}
+	rec(t.Root(), bitstr.Empty, hashing.EmptyValue())
+	return ix
+}
+
+// twoFattest returns the integer in (a, b] with the most trailing zeros.
+func twoFattest(a, b int) int {
+	if a >= b {
+		panic("zfast: empty interval")
+	}
+	// Clearing bits of b below the highest bit where a and b differ gives
+	// the unique multiple of the largest power of two inside (a, b].
+	d := bits.Len64(uint64(a^b)) - 1
+	return b &^ (1<<uint(d) - 1)
+}
+
+// Height returns the trie height in bits.
+func (ix *Index) Height() int { return ix.height }
+
+// Locate returns the deepest compressed node whose represented string is
+// a prefix of q, along with that node's depth. It always succeeds (the
+// root matches everything). The search costs O(log height) probes whp;
+// the final answer is verified against stored extents, so it is exact
+// regardless of hash behaviour.
+func (ix *Index) Locate(q bitstr.String) (*trie.Node, int) {
+	best := ix.root
+	a, b := 0, q.Len()
+	if ix.height < b {
+		b = ix.height
+	}
+	for a < b {
+		f := twoFattest(a, b)
+		ix.Probes++
+		if n, ok := ix.handles[ix.h.Hash(q.Prefix(f))]; ok {
+			d := n.Depth
+			if d > b {
+				// The node's extent extends beyond the interval; its handle
+				// matched, so the extent agrees with q at least to f. Jump
+				// to its depth clipped into the interval for the next round.
+				d = b
+			}
+			best = n
+			a = d
+		} else {
+			b = f - 1
+		}
+	}
+	// Verification walk: hash matches only suggest the candidate; confirm
+	// bit-wise and repair by moving up, then extend downward while a
+	// child edge still matches q. Whp the loop bodies run O(1) times.
+	n := best
+	for n != ix.root && !q.HasPrefix(ix.extents[n]) {
+		n = n.Parent
+	}
+	for {
+		d := n.Depth
+		if d >= q.Len() {
+			break
+		}
+		e := n.Child[q.BitAt(d)]
+		if e == nil {
+			break
+		}
+		l := e.Label.Len()
+		if d+l > q.Len() || bitstr.LCP(e.Label, q.Slice(d, q.Len())) < l {
+			break
+		}
+		n = e.To
+	}
+	return n, n.Depth
+}
+
+// LocusLCP returns the length of the longest prefix of q that lies on the
+// trie's path structure (counting positions inside edges), plus the
+// deepest compressed node at or above that point — the building block of
+// the efficient local matching of §4.4.2.
+func (ix *Index) LocusLCP(q bitstr.String) (*trie.Node, int) {
+	n, d := ix.Locate(q)
+	if d >= q.Len() {
+		return n, d
+	}
+	e := n.Child[q.BitAt(d)]
+	if e == nil {
+		return n, d
+	}
+	l := bitstr.LCP(e.Label, q.Slice(d, q.Len()))
+	return n, d + l
+}

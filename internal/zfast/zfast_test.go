@@ -1,0 +1,193 @@
+package zfast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/hashing"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+func randomKey(r *rand.Rand, maxLen int) string {
+	n := r.Intn(maxLen + 1)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte('0' + byte(r.Intn(2)))
+	}
+	return b.String()
+}
+
+func TestTwoFattest(t *testing.T) {
+	// Brute-force reference: value in (a, b] with most trailing zeros
+	// (the unique multiple of the largest power of two in the interval).
+	for a := 0; a < 130; a++ {
+		for b := a + 1; b < 130; b++ {
+			best, bestTZ := -1, -1
+			for v := a + 1; v <= b; v++ {
+				tz := 0
+				for x := v; x&1 == 0 && x > 0; x >>= 1 {
+					tz++
+				}
+				if v == 0 {
+					tz = 64
+				}
+				if tz > bestTZ {
+					best, bestTZ = v, tz
+				}
+			}
+			if got := twoFattest(a, b); got != best {
+				t.Fatalf("twoFattest(%d,%d) = %d, want %d", a, b, got, best)
+			}
+		}
+	}
+}
+
+// naiveLocate is the specification of Locate: deepest compressed node
+// whose string is a prefix of q.
+func naiveLocate(tr *trie.Trie, q bitstr.String) *trie.Node {
+	best := tr.Root()
+	tr.WalkPreorder(func(n *trie.Node) bool {
+		s := trie.NodeString(n)
+		if q.HasPrefix(s) {
+			if n.Depth > best.Depth {
+				best = n
+			}
+			return true
+		}
+		return bitstr.LCP(s, q) == s.Len() // descend only along q's path
+	})
+	return best
+}
+
+func TestLocateAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := hashing.New(11, 0)
+	for trial := 0; trial < 20; trial++ {
+		tr := trie.New()
+		var keys []string
+		for i := 0; i < 100; i++ {
+			k := randomKey(r, 60)
+			if len(keys) > 0 && r.Intn(3) == 0 {
+				k = keys[r.Intn(len(keys))] + randomKey(r, 15)
+			}
+			keys = append(keys, k)
+			tr.Insert(bitstr.MustParse(k), uint64(i))
+		}
+		ix := Build(tr, h)
+		for probe := 0; probe < 200; probe++ {
+			var q bitstr.String
+			switch probe % 3 {
+			case 0:
+				q = bitstr.MustParse(randomKey(r, 70))
+			case 1:
+				k := keys[r.Intn(len(keys))]
+				q = bitstr.MustParse(k[:r.Intn(len(k)+1)])
+			default:
+				q = bitstr.MustParse(keys[r.Intn(len(keys))] + randomKey(r, 10))
+			}
+			got, depth := ix.Locate(q)
+			want := naiveLocate(tr, q)
+			if got != want {
+				t.Fatalf("trial %d: Locate(%q) depth %d, want depth %d", trial, q, depth, want.Depth)
+			}
+			if depth != got.Depth {
+				t.Fatalf("Locate returned depth %d for node of depth %d", depth, got.Depth)
+			}
+		}
+	}
+}
+
+func TestLocateEmptyQueryAndRoot(t *testing.T) {
+	h := hashing.New(2, 0)
+	tr := trie.New()
+	tr.Insert(bitstr.MustParse("0101"), 1)
+	ix := Build(tr, h)
+	n, d := ix.Locate(bitstr.Empty)
+	if n != tr.Root() || d != 0 {
+		t.Fatalf("Locate(empty) = depth %d", d)
+	}
+	n, d = ix.Locate(bitstr.MustParse("1111"))
+	if n != tr.Root() || d != 0 {
+		t.Fatalf("Locate(divergent) = depth %d", d)
+	}
+}
+
+func TestLocusLCP(t *testing.T) {
+	h := hashing.New(3, 0)
+	tr := trie.New()
+	tr.Insert(bitstr.MustParse("0000111"), 1)
+	tr.Insert(bitstr.MustParse("00"), 2)
+	ix := Build(tr, h)
+	// "000011" runs 6 bits into the edge below "00".
+	n, l := ix.LocusLCP(bitstr.MustParse("0000110"))
+	if l != 6 {
+		t.Fatalf("LocusLCP = %d, want 6", l)
+	}
+	if trie.NodeString(n).String() != "00" {
+		t.Fatalf("host node = %q", trie.NodeString(n))
+	}
+	// Exact node hit.
+	_, l = ix.LocusLCP(bitstr.MustParse("00"))
+	if l != 2 {
+		t.Fatalf("LocusLCP exact = %d", l)
+	}
+}
+
+func TestProbeCountLogarithmicInHeight(t *testing.T) {
+	// A trie of height 64 must be searchable in ~log2(64)+1 probes.
+	h := hashing.New(4, 0)
+	r := rand.New(rand.NewSource(5))
+	tr := trie.New()
+	for i := 0; i < 2000; i++ {
+		tr.Insert(bitstr.FromUint64(r.Uint64(), 64), uint64(i))
+	}
+	ix := Build(tr, h)
+	q := bitstr.FromUint64(r.Uint64(), 64)
+	before := ix.Probes
+	ix.Locate(q)
+	if used := ix.Probes - before; used > 8 {
+		t.Fatalf("Locate used %d probes for height %d", used, ix.Height())
+	}
+}
+
+func TestNarrowHashStillExact(t *testing.T) {
+	// With a 6-bit hash, handle collisions are common; Locate must still
+	// be exact thanks to verification.
+	h := hashing.New(6, 6)
+	r := rand.New(rand.NewSource(7))
+	tr := trie.New()
+	var keys []string
+	for i := 0; i < 200; i++ {
+		k := randomKey(r, 40)
+		keys = append(keys, k)
+		tr.Insert(bitstr.MustParse(k), uint64(i))
+	}
+	ix := Build(tr, h)
+	for probe := 0; probe < 300; probe++ {
+		q := bitstr.MustParse(randomKey(r, 50))
+		got, _ := ix.Locate(q)
+		if want := naiveLocate(tr, q); got != want {
+			t.Fatalf("narrow-hash Locate(%q) = depth %d, want depth %d", q, got.Depth, want.Depth)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	h := hashing.New(8, 0)
+	r := rand.New(rand.NewSource(9))
+	tr := trie.New()
+	for i := 0; i < 1<<14; i++ {
+		tr.Insert(bitstr.FromUint64(r.Uint64(), 64), uint64(i))
+	}
+	ix := Build(tr, h)
+	qs := make([]bitstr.String, 512)
+	for i := range qs {
+		qs[i] = bitstr.FromUint64(r.Uint64(), 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Locate(qs[i&511])
+	}
+}

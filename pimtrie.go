@@ -1,0 +1,148 @@
+// Package pimtrie is a Go implementation of PIM-trie — the skew-resistant
+// batch-parallel radix-based index for Processing-in-Memory systems of
+// Kang et al. (SPAA 2023) — together with an instrumented simulator of
+// the PIM Model it is designed for.
+//
+// An Index stores (bit-string key → uint64 value) pairs distributed over
+// P simulated PIM modules and supports batched LongestCommonPrefix, Get,
+// Insert, Delete and SubtreeQuery with the paper's load-balance and
+// communication guarantees. Metrics() exposes the PIM Model cost
+// counters (IO rounds, IO time, communication volume, PIM time, balance)
+// so applications and benchmarks can observe the quantities the paper's
+// theorems bound.
+//
+// Basic use:
+//
+//	idx := pimtrie.New(64, pimtrie.Options{})
+//	idx.Insert(keys, values)            // []bitstr.String, []uint64
+//	lcp := idx.LCP(queries)             // bits of longest common prefix
+//	kvs := idx.Subtree(prefix)          // all pairs extending prefix
+//
+// Keys are variable-length bit strings; KeyFromBytes, KeyFromString,
+// KeyFromUint and KeyFromBits cover the common encodings.
+package pimtrie
+
+import (
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/core"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/trie"
+)
+
+// Key is a variable-length bit-string key.
+type Key = bitstr.String
+
+// KV is a stored key-value pair, as returned by Subtree.
+type KV = trie.KV
+
+// KeyFromBytes encodes a byte string as a Key (MSB-first per byte, so
+// lexicographic orders agree).
+func KeyFromBytes(b []byte) Key { return bitstr.FromBytes(b) }
+
+// KeyFromString encodes a textual key.
+func KeyFromString(s string) Key { return bitstr.FromBytes([]byte(s)) }
+
+// KeyFromUint encodes an integer as an exactly width-bit key.
+func KeyFromUint(v uint64, width int) Key { return bitstr.FromUint64(v, width) }
+
+// KeyFromBits parses a "0101"-style bit literal; it panics on other
+// characters (intended for tests and examples).
+func KeyFromBits(s string) Key { return bitstr.MustParse(s) }
+
+// Options configures an Index. The zero value selects the paper's
+// defaults for every parameter.
+type Options struct {
+	// Seed fixes all randomized placement decisions.
+	Seed int64
+	// BlockWords overrides K_B, the data-trie block size bound in words.
+	BlockWords int
+	// MetaBlockMax overrides K_MB, the meta-block (region) size bound.
+	MetaBlockMax int
+	// PullThreshold overrides the push/pull boundary in words.
+	PullThreshold int
+	// HashWidth narrows the hash output (testing the collision paths).
+	HashWidth uint
+	// PivotProbing enables the paper's §4.4.2 optimized HashMatching
+	// (pivot classes + two-layer indexes) for the region phase.
+	PivotProbing bool
+}
+
+// Metrics re-exports the PIM Model cost counters.
+type Metrics = pim.Metrics
+
+// Index is a PIM-trie over a simulated PIM system. It is not safe for
+// concurrent use: batches are the unit of parallelism, exactly as in the
+// paper's model.
+type Index struct {
+	sys  *pim.System
+	core *core.PIMTrie
+}
+
+// New creates an empty index over p PIM modules.
+func New(p int, opts Options) *Index {
+	sys := pim.NewSystem(p, pim.WithSeed(opts.Seed))
+	cfg := core.Config{
+		BlockWords:    opts.BlockWords,
+		MetaBlockMax:  opts.MetaBlockMax,
+		PullThreshold: opts.PullThreshold,
+		HashSeed:      uint64(opts.Seed) ^ 0x5eed,
+		HashWidth:     opts.HashWidth,
+		PivotProbing:  opts.PivotProbing,
+	}
+	return &Index{sys: sys, core: core.New(sys, cfg)}
+}
+
+// Load bulk-loads an empty index (faster than Insert for initial data).
+func (ix *Index) Load(keys []Key, values []uint64) {
+	ix.core.Build(keys, values)
+}
+
+// Insert stores a batch of key-value pairs; later duplicates win.
+func (ix *Index) Insert(keys []Key, values []uint64) {
+	ix.core.Insert(keys, values)
+}
+
+// Delete removes a batch of keys, reporting per key whether it was
+// present (duplicates report true once, like sequential deletion).
+func (ix *Index) Delete(keys []Key) []bool { return ix.core.Delete(keys) }
+
+// LCP returns, for each query, the length in bits of the longest prefix
+// of the query present in the index.
+func (ix *Index) LCP(queries []Key) []int { return ix.core.LCP(queries) }
+
+// Get returns the values stored under the queried keys.
+func (ix *Index) Get(queries []Key) (values []uint64, found []bool) {
+	return ix.core.Get(queries)
+}
+
+// Subtree returns every stored pair whose key extends prefix, in
+// lexicographic order.
+func (ix *Index) Subtree(prefix Key) []KV { return ix.core.SubtreeQuery(prefix) }
+
+// Subtrees answers a batch of prefix scans in one matching pass;
+// results[i] holds the pairs extending prefixes[i].
+func (ix *Index) Subtrees(prefixes []Key) [][]KV {
+	return ix.core.SubtreeQueryBatch(prefixes)
+}
+
+// Len returns the number of stored keys.
+func (ix *Index) Len() int { return ix.core.KeyCount() }
+
+// P returns the number of PIM modules.
+func (ix *Index) P() int { return ix.sys.P() }
+
+// Metrics returns the cumulative PIM Model cost counters; diff two
+// snapshots with Metrics.Sub to cost a single batch.
+func (ix *Index) Metrics() Metrics { return ix.sys.Metrics() }
+
+// SpaceWords returns the total PIM memory in use, in machine words.
+func (ix *Index) SpaceWords() int {
+	total, _ := ix.sys.SpaceWords()
+	return total
+}
+
+// Stats reports structural counters (blocks, regions, re-hashes).
+type Stats = core.Stats
+
+// Stats returns structural diagnostics.
+func (ix *Index) Stats() Stats { return ix.core.CollectStats() }

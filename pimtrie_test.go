@@ -1,0 +1,91 @@
+package pimtrie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	idx := New(8, Options{Seed: 1})
+	keys := []Key{
+		KeyFromString("apple"),
+		KeyFromString("application"),
+		KeyFromString("banana"),
+		KeyFromBits("0101"),
+		KeyFromUint(0xdeadbeef, 32),
+	}
+	values := []uint64{1, 2, 3, 4, 5}
+	idx.Insert(keys, values)
+	if idx.Len() != 5 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	vals, found := idx.Get(keys)
+	for i := range keys {
+		if !found[i] || vals[i] != values[i] {
+			t.Fatalf("Get(%d) = %d,%v", i, vals[i], found[i])
+		}
+	}
+	// "appl" is a shared prefix of apple/application: 4 bytes + 'e' vs 'i'
+	// share 5 further bits (0110 0101 vs 0110 1001 share "0110").
+	lcp := idx.LCP([]Key{KeyFromString("apply")})
+	if lcp[0] < 4*8 {
+		t.Fatalf("LCP(apply) = %d bits", lcp[0])
+	}
+	// Prefix scan under "appl".
+	kvs := idx.Subtree(KeyFromString("appl"))
+	if len(kvs) != 2 {
+		t.Fatalf("Subtree(appl) = %d results", len(kvs))
+	}
+	del := idx.Delete([]Key{KeyFromString("apple"), KeyFromString("nope")})
+	if !del[0] || del[1] {
+		t.Fatalf("Delete = %v", del)
+	}
+	if idx.Len() != 4 {
+		t.Fatalf("Len after delete = %d", idx.Len())
+	}
+}
+
+func TestPublicAPILoadAndMetrics(t *testing.T) {
+	idx := New(16, Options{Seed: 2})
+	r := rand.New(rand.NewSource(3))
+	n := 1000
+	keys := make([]Key, n)
+	values := make([]uint64, n)
+	for i := range keys {
+		keys[i] = KeyFromUint(r.Uint64(), 64)
+		values[i] = uint64(i)
+	}
+	idx.Load(keys, values)
+	if idx.Len() != n {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	before := idx.Metrics()
+	idx.LCP(keys[:256])
+	d := idx.Metrics().Sub(before)
+	if d.Rounds == 0 || d.IOWords == 0 {
+		t.Fatalf("metrics did not move: %+v", d)
+	}
+	if d.Rounds > 16 {
+		t.Fatalf("LCP batch used %d rounds; expected a small constant", d.Rounds)
+	}
+	if idx.SpaceWords() == 0 || idx.P() != 16 {
+		t.Fatal("accessors broken")
+	}
+	st := idx.Stats()
+	if st.Blocks == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicAPIEmptyIndex(t *testing.T) {
+	idx := New(4, Options{})
+	if got := idx.LCP([]Key{KeyFromString("x")}); got[0] != 0 {
+		t.Fatalf("LCP on empty = %d", got[0])
+	}
+	if kvs := idx.Subtree(KeyFromString("x")); kvs != nil {
+		t.Fatalf("Subtree on empty = %v", kvs)
+	}
+	if _, found := idx.Get([]Key{KeyFromString("x")}); found[0] {
+		t.Fatal("Get on empty found something")
+	}
+}
