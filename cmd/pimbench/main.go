@@ -8,6 +8,8 @@
 //	pimbench -exp E2,E7              # run selected experiments
 //	pimbench -p 64 -n 50000 -batch 4096 -seed 7
 //	pimbench -list                   # list experiment IDs
+//	pimbench -exp E2 -trace t.jsonl  # phase-attributed trace (pimtrie-trace reads it)
+//	pimbench -json results.json      # machine-readable tables
 package main
 
 import (
@@ -15,9 +17,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/obs"
+	"github.com/pimlab/pimtrie/internal/pim"
 )
 
 var registry = []struct {
@@ -41,6 +46,51 @@ var registry = []struct {
 	{"E9e", "ablation: pivot probing", experiments.AblationPivotProbing},
 }
 
+// traceCollector attaches an obs.Tracer to every system an experiment
+// creates (via the pim system hook) and remembers them for export.
+type traceCollector struct {
+	mu      sync.Mutex
+	exp     string // current experiment ID, set by the run loop
+	n       int    // systems seen within the current experiment
+	tracers []*obs.Tracer
+}
+
+func (c *traceCollector) setExperiment(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exp, c.n = id, 0
+}
+
+func (c *traceCollector) hook(sys *pim.System) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	label := fmt.Sprintf("%s/sys%02d", c.exp, c.n)
+	c.n++
+	c.tracers = append(c.tracers, obs.Attach(sys, label))
+}
+
+func (c *traceCollector) export(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, t := range c.tracers {
+		t.Detach()
+		d := t.Data()
+		if err := d.Check(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s failed self-check: %w", t.Label(), err)
+		}
+		if err := d.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 func main() {
 	var (
 		exps  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
@@ -49,6 +99,8 @@ func main() {
 		n     = flag.Int("n", experiments.DefaultScale.N, "stored keys")
 		batch = flag.Int("batch", experiments.DefaultScale.Batch, "queries per batch")
 		seed  = flag.Int64("seed", experiments.DefaultScale.Seed, "workload/placement seed")
+		trace = flag.String("trace", "", "write a phase-attributed JSONL trace of every system to this path")
+		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 	)
 	flag.Parse()
 
@@ -64,21 +116,57 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+
+	var collector *traceCollector
+	if *trace != "" {
+		collector = &traceCollector{}
+		pim.SetSystemHook(collector.hook)
+		defer pim.SetSystemHook(nil)
+	}
+
 	sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 	fmt.Printf("pimbench: P=%d n=%d batch=%d seed=%d\n\n", sc.P, sc.N, sc.Batch, sc.Seed)
 	ran := 0
+	var tables []experiments.Table
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		if collector != nil {
+			collector.setExperiment(e.id)
 		}
 		start := time.Now()
 		tb := e.run(sc)
 		fmt.Print(tb.Format())
 		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, tb)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "pimbench: no experiment matched -exp; try -list")
 		os.Exit(2)
+	}
+	if collector != nil {
+		if err := collector.export(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d system(s) written to %s (analyze with pimtrie-trace)\n", len(collector.tracers), *trace)
+	}
+	if *jsonP != "" {
+		f, err := os.Create(*jsonP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteResultsJSON(f, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: writing results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results: %d table(s) written to %s\n", len(tables), *jsonP)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	pimtrie-inspect -p 32 -n 10000 -dist shared -prefix 512
 //	pimtrie-inspect -dist var -min 32 -max 512
+//	pimtrie-inspect -rounds -op insert      # phase-attributed round table
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/core"
+	"github.com/pimlab/pimtrie/internal/obs"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/workload"
 )
@@ -33,6 +35,8 @@ func main() {
 		prefix = flag.Int("prefix", 512, "shared prefix bits (shared)")
 		kb     = flag.Int("kb", 0, "block words K_B (0 = default)")
 		trace  = flag.Bool("trace", false, "print a per-round trace of the probe batch")
+		rounds = flag.Bool("rounds", false, "print the phase-attributed round table for the op chosen with -op")
+		op     = flag.String("op", "lcp", "operation for -rounds: lcp|get|insert|delete|subtree")
 	)
 	flag.Parse()
 
@@ -103,4 +107,66 @@ func main() {
 				i+1, tr.Tasks, tr.Modules, tr.SendWords, tr.RecvWords, tr.MaxIO, tr.MaxWork)
 		}
 	}
+
+	if *rounds {
+		printRounds(pt, sys, g, keys, *op, *batch)
+	}
+}
+
+// printRounds runs one more batch of the chosen operation under an obs
+// tracer and prints its rounds with phase attribution — the same table
+// -trace prints, plus the owning phase of every round.
+func printRounds(pt *core.PIMTrie, sys *pim.System, g *workload.Gen, keys []bitstr.String, op string, batch int) {
+	tr := obs.Attach(sys, "inspect/"+op)
+	switch op {
+	case "lcp":
+		pt.LCP(g.PrefixQueries(keys, batch, 16))
+	case "get":
+		pt.Get(g.Zipf(keys, batch, 1.2))
+	case "insert":
+		fresh := g.VarLen(batch/4, 32, 256)
+		pt.Insert(fresh, g.Values(len(fresh)))
+	case "delete":
+		n := batch / 4
+		if n > len(keys) {
+			n = len(keys)
+		}
+		pt.Delete(keys[:n])
+	case "subtree":
+		n := 4
+		if n > len(keys) {
+			n = len(keys)
+		}
+		prefixes := make([]bitstr.String, n)
+		for i := range prefixes {
+			k := keys[i]
+			l := k.Len() / 4
+			prefixes[i] = k.Prefix(l)
+		}
+		pt.SubtreeQueryBatch(prefixes)
+	default:
+		tr.Detach()
+		fmt.Fprintf(os.Stderr, "unknown -op %q (want lcp|get|insert|delete|subtree)\n", op)
+		os.Exit(2)
+	}
+	tr.Detach()
+	d := tr.Data()
+	if err := d.Check(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace self-check failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nphase-attributed rounds (%s batch):\n", op)
+	fmt.Printf("%-6s %-30s %-7s %-8s %-10s %-10s %-8s %-8s\n",
+		"round", "phase", "tasks", "modules", "send", "recv", "max-io", "max-work")
+	for i := range d.Rounds {
+		r := &d.Rounds[i]
+		path := r.Path
+		if path == "" {
+			path = obs.UnattributedPath
+		}
+		fmt.Printf("%-6d %-30s %-7d %-8d %-10d %-10d %-8d %-8d\n",
+			r.Index+1, path, r.Tasks, r.Modules, r.SendWords, r.RecvWords, r.MaxIO, r.MaxWork)
+	}
+	fmt.Printf("%d rounds, %d spans; io-time %d, io-words %d\n",
+		len(d.Rounds), len(d.Spans), d.Total.IOTime, d.Total.IOWords)
 }

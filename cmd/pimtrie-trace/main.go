@@ -1,0 +1,171 @@
+// Command pimtrie-trace analyzes phase-attributed JSONL traces written
+// by `pimbench -trace` (or any obs.Trace export). For every trace
+// section it prints the per-phase cost breakdown, the hottest modules,
+// and per-phase IO/work balance; -timeline adds the round-by-round IO
+// log with span attribution.
+//
+// Usage:
+//
+//	pimbench -exp E2 -trace t.jsonl
+//	pimtrie-trace t.jsonl                 # per-phase breakdown + skew summary
+//	pimtrie-trace -timeline t.jsonl       # plus round-by-round timeline
+//	pimtrie-trace -check t.jsonl          # verify conservation; exit 1 on mismatch
+//	pimtrie-trace -top 10 t.jsonl         # more hot modules
+//	pimtrie-trace -label E2/sys00 t.jsonl # one section only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/pimlab/pimtrie/internal/obs"
+)
+
+func main() {
+	var (
+		top      = flag.Int("top", 5, "hottest modules to list per trace")
+		timeline = flag.Bool("timeline", false, "print the round-by-round IO timeline")
+		check    = flag.Bool("check", false, "verify conservation laws; exit nonzero on any mismatch")
+		label    = flag.String("label", "", "only analyze trace sections whose label contains this substring")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pimtrie-trace [-top k] [-timeline] [-check] [-label substr] <trace.jsonl>...")
+		os.Exit(2)
+	}
+
+	var traces []*obs.Trace
+	for _, path := range flag.Args() {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pimtrie-trace: %v\n", err)
+				os.Exit(1)
+			}
+			r = f
+			defer f.Close()
+		}
+		ts, err := obs.ReadJSONL(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimtrie-trace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		traces = append(traces, ts...)
+	}
+
+	failed := 0
+	shown := 0
+	for _, tr := range traces {
+		if *label != "" && !strings.Contains(tr.Label, *label) {
+			continue
+		}
+		shown++
+		if err := report(tr, *top, *timeline, *check); err != nil {
+			fmt.Fprintf(os.Stderr, "pimtrie-trace: %s: %v\n", tr.Label, err)
+			failed++
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(os.Stderr, "pimtrie-trace: no trace section matched")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func report(tr *obs.Trace, top int, timeline, check bool) error {
+	fmt.Printf("== trace %s (P=%d, %d spans, %d rounds) ==\n", tr.Label, tr.P, len(tr.Spans), len(tr.Rounds))
+	if check {
+		if err := tr.Check(); err != nil {
+			return err
+		}
+		fmt.Println("check: spans + unattributed == total == system delta ✓")
+	}
+
+	stats := tr.PhaseStats()
+	rows := [][]string{{"phase", "spans", "rounds", "io-time", "io-words", "pim-time", "pim-work", "cpu-work", "io-bal", "wrk-bal"}}
+	for _, st := range stats {
+		rows = append(rows, []string{
+			st.Path, itoa(st.Spans), i64(st.M.Rounds), i64(st.M.IOTime), i64(st.M.IOWords),
+			i64(st.M.PIMTime), i64(st.M.PIMWork), i64(st.M.CPUWork),
+			bal(st.M.IOBalance()), bal(st.M.WorkBalance()),
+		})
+	}
+	rows = append(rows, []string{
+		"TOTAL", "", i64(tr.Total.Rounds), i64(tr.Total.IOTime), i64(tr.Total.IOWords),
+		i64(tr.Total.PIMTime), i64(tr.Total.PIMWork), i64(tr.Total.CPUWork),
+		bal(tr.Total.IOBalance()), bal(tr.Total.WorkBalance()),
+	})
+	printAligned(rows)
+
+	hot := tr.HotModules(top)
+	var totIO int64
+	for _, v := range tr.Total.PerModuleIO {
+		totIO += v
+	}
+	fmt.Printf("hottest modules (of %d):", tr.P)
+	for _, h := range hot {
+		share := 0.0
+		if totIO > 0 {
+			share = 100 * float64(h.IO) / float64(totIO)
+		}
+		fmt.Printf("  m%d io=%d (%.1f%%) work=%d", h.Module, h.IO, share, h.Work)
+	}
+	fmt.Println()
+
+	if timeline {
+		fmt.Println("timeline (round: phase tasks modules send recv max-io max-work):")
+		for i := range tr.Rounds {
+			r := &tr.Rounds[i]
+			path := r.Path
+			if path == "" {
+				path = obs.UnattributedPath
+			}
+			fmt.Printf("  %5d  %-28s t=%-5d m=%-4d s=%-7d r=%-7d io=%-6d w=%d\n",
+				r.Index, path, r.Tasks, r.Modules, r.SendWords, r.RecvWords, r.MaxIO, r.MaxWork)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func i64(v int64) string { return fmt.Sprintf("%d", v) }
+func itoa(v int) string  { return fmt.Sprintf("%d", v) }
+
+// bal formats a balance ratio, blank when the phase moved no data.
+func bal(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func printAligned(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			pad := widths[i]
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s  ", pad, c)
+			} else {
+				fmt.Fprintf(&b, "%*s  ", pad, c)
+			}
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+}

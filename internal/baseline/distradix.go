@@ -53,6 +53,7 @@ func NewDistRadix(sys *pim.System, span int, keys []bitstr.String, values []uint
 		panic("baseline: span out of range")
 	}
 	d := &DistRadix{sys: sys, span: span}
+	defer sys.Phase("build")()
 	full := trie.New()
 	for i, k := range keys {
 		full.Insert(k, values[i])
@@ -122,10 +123,13 @@ type drCursor struct {
 // that holds its current node. Shared prefixes hammer the same modules,
 // which is exactly the imbalance the measurement should expose.
 func (d *DistRadix) LCP(batch []bitstr.String) []int {
+	defer d.sys.Phase("lcp")()
 	cur := make([]drCursor, len(batch))
 	for i := range cur {
 		cur[i] = drCursor{at: d.root}
 	}
+	endChase := d.sys.Phase("pointer-chase")
+	defer endChase()
 	active := len(batch)
 	for active > 0 {
 		var tasks []pim.Task
@@ -182,6 +186,7 @@ func (d *DistRadix) LCP(batch []bitstr.String) []int {
 // simplicity each key is processed independently; conflicting splices at
 // the same edge within one batch are serialized by re-descending.
 func (d *DistRadix) Insert(keys []bitstr.String, values []uint64) {
+	defer d.sys.Phase("insert")()
 	for i, k := range keys {
 		d.insertOne(k, values[i])
 	}
@@ -356,6 +361,7 @@ func (d *DistRadix) splitAndAttach(at pim.Addr, k bitstr.String, pos, off int, v
 // descending to the locus (O(l/s) rounds) and then BFS pointer chasing
 // one node level per round — the O(n_D)-round worst case of Table 1.
 func (d *DistRadix) Subtree(prefix bitstr.String) []trie.KV {
+	defer d.sys.Phase("subtree")()
 	// Descend to the locus, tracking the represented string of the node
 	// entered (the locus node may lie below the prefix, mid-edge).
 	type subStep struct {
@@ -363,6 +369,7 @@ func (d *DistRadix) Subtree(prefix bitstr.String) []trie.KV {
 		pos  int
 		lab  bitstr.String
 	}
+	endDescend := d.sys.Phase("descend")
 	at, pos := d.root, 0
 	path := bitstr.Empty
 	for pos < prefix.Len() {
@@ -387,16 +394,21 @@ func (d *DistRadix) Subtree(prefix bitstr.String) []trie.KV {
 		}})
 		switch r := res[0].Value.(type) {
 		case insDone:
+			endDescend()
 			return nil
 		case subStep:
 			at, pos = r.next, r.pos
 			path = path.Concat(r.lab)
 			if pos > prefix.Len() && !path.HasPrefix(prefix) {
+				endDescend()
 				return nil // prefix diverged inside the final edge
 			}
 		}
 	}
+	endDescend()
 	// BFS below the locus, one node level per round.
+	endGather := d.sys.Phase("gather")
+	defer endGather()
 	type visit struct {
 		addr pim.Addr
 		path bitstr.String

@@ -36,6 +36,7 @@ func (t *PIMTrie) Build(keys []bitstr.String, values []uint64) {
 	if len(keys) != len(values) {
 		panic("core: Build keys/values length mismatch")
 	}
+	defer t.sys.Phase("build")()
 	// Host-side construction of the full compressed trie.
 	full := trie.New()
 	for i, k := range keys {
@@ -82,6 +83,7 @@ func dropMirrorCuts(cuts []*trie.Node) []*trie.Node {
 // hash collision it frees everything it allocated and reports the error
 // so the caller can re-hash and retry.
 func (t *PIMTrie) installBlocks(specs []*trie.BlockSpec) error {
+	defer t.sys.Phase("install-blocks")()
 	// Clear all previous module state except master replicas.
 	t.clearObjects()
 
@@ -210,6 +212,7 @@ func slastExtend(parentSLast, rel bitstr.String) bitstr.String {
 // into regions of at most MetaBlockMax nodes, distributes the regions,
 // rebuilds the master table and points every block at its region.
 func (t *PIMTrie) assembleHVM(metas []*blockMeta) error {
+	defer t.sys.Phase("assemble-hvm")()
 	// Build the meta-tree host-side; detect hash collisions eagerly.
 	nodes := make([]*hvm.MetaNode, len(metas))
 	byAddr := make(map[pim.Addr]int, len(metas))
@@ -328,6 +331,7 @@ func metasRootAddr(metas []*blockMeta) pim.Addr {
 // tree), regions and the master table. Costs are charged as the rounds
 // execute; the operation is rare (§4.4.3).
 func (t *PIMTrie) rehash() {
+	defer t.sys.Phase("rehash")()
 	t.rehashes++
 	for attempt := 0; ; attempt++ {
 		t.hashSalt++

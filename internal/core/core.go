@@ -180,6 +180,7 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 		hashSalt: cfg.HashSeed,
 		master:   map[uint64]masterEntry{},
 	}
+	defer sys.Phase("init")()
 	// Install empty master replicas and the empty root block + region.
 	resp := sys.Broadcast(1, func(m *pim.Module) pim.Resp {
 		return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: map[uint64]masterEntry{}})}
@@ -237,6 +238,7 @@ func (t *PIMTrie) FalseHits() int { return t.falseHits }
 // broadcastMaster pushes the host master replica to every module. The
 // cost is the full table size; incremental updates use masterDelta.
 func (t *PIMTrie) broadcastMaster() {
+	defer t.sys.Phase("master-broadcast")()
 	entries := make(map[uint64]masterEntry, len(t.master))
 	for k, v := range t.master {
 		entries[k] = v
@@ -257,6 +259,7 @@ func (t *PIMTrie) broadcastMaster() {
 // masterRemoveAndAdd applies removals and additions to the replicated
 // master table in one broadcast round.
 func (t *PIMTrie) masterRemoveAndAdd(drop []uint64, add map[uint64]masterEntry) {
+	defer t.sys.Phase("master-update")()
 	for _, h := range drop {
 		delete(t.master, h)
 	}
@@ -279,6 +282,7 @@ func (t *PIMTrie) masterRemoveAndAdd(drop []uint64, add map[uint64]masterEntry) 
 
 // masterDelta broadcasts a set of added master entries.
 func (t *PIMTrie) masterDelta(add map[uint64]masterEntry) error {
+	defer t.sys.Phase("master-delta")()
 	for k, v := range add {
 		if old, dup := t.master[k]; dup && (old.Len != v.Len || !bitstr.Equal(old.SLast, v.SLast) || old.Block != v.Block) {
 			return hvm.ErrHashCollision{Hash: k}

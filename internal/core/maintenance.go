@@ -24,6 +24,7 @@ import (
 // splitBlocks re-partitions every oversized block into child blocks,
 // distributes the children, and registers and re-parents meta-nodes.
 func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
+	defer t.sys.Phase("block-split")()
 	// Round 1: pull the oversized blocks.
 	tasks := make([]pim.Task, len(oversized))
 	for i, addr := range oversized {
@@ -358,6 +359,7 @@ func (t *PIMTrie) hashOfOversized(resps []pim.Resp, oi int) uint64 {
 // cut (Lemma 4.5) until all pieces fit, redistributes the new pieces,
 // updates the master table and re-points the moved blocks.
 func (t *PIMTrie) splitRegions(over []pim.Addr) {
+	defer t.sys.Phase("meta-split")()
 	// Round 1: pull regions.
 	tasks := make([]pim.Task, len(over))
 	for i, ra := range over {
@@ -477,6 +479,7 @@ func (t *PIMTrie) pointBlocksAtRegions(placed []regionPlacement) {
 // detached and its children slot nulled, and the block object is freed.
 // Reclamation cascades to parents that become empty.
 func (t *PIMTrie) removeBlocks(emptied []pim.Addr) {
+	defer t.sys.Phase("block-remove")()
 	for len(emptied) > 0 {
 		// Round 1: fetch block info.
 		info := make([]pim.Task, len(emptied))

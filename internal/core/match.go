@@ -200,9 +200,13 @@ func (o *matchOutcome) lcpOf(i int) int {
 	return 0
 }
 
-// match runs phases B–D for a prepared batch.
+// match runs phases B–D for a prepared batch. Each phase is annotated
+// as a span (see DESIGN.md §7): "master-match" and "region-match" are
+// the two HashMatching stages of §4.3–4.4 (Algorithms 4 and 5's roles),
+// "block-match" is the bit-by-bit push-pull of Algorithm 2.
 func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 	// ----- Phase B: master matching -----------------------------------
+	endMaster := t.sys.Phase("master-match")
 	chunks := t.chunkEdges(p)
 	rootVal := hashing.EmptyValue()
 	rootHit := hitRec{
@@ -242,8 +246,10 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		}
 	}
 	masterHits = dedupeHits(masterHits)
+	endMaster()
 
 	// ----- Phase C: region matching ------------------------------------
+	endRegion := t.sys.Phase("region-match")
 	masterPieces := decompose(p, masterHits, t.cfg.PivotProbing)
 	var cTasks []pim.Task
 	type cKind struct {
@@ -310,8 +316,11 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 			}
 		}
 	}
+	endRegion()
 
 	// ----- Phase D: block matching -------------------------------------
+	endBlock := t.sys.Phase("block-match")
+	defer endBlock()
 	allHits := dedupeHits(append(masterHits, regionHits...))
 	pieces := decompose(p, allHits, false)
 	out := &matchOutcome{

@@ -17,7 +17,9 @@ import (
 // batch whenever verification detects a hash collision.
 func (t *PIMTrie) matchWithRedo(batch []bitstr.String) *matchOutcome {
 	for attempt := 0; attempt <= t.cfg.MaxRedo; attempt++ {
+		endPrep := t.sys.Phase("prepare")
 		p := t.prepare(batch)
+		endPrep()
 		out, err := t.match(p)
 		if err == nil {
 			return out
@@ -35,6 +37,7 @@ func (t *PIMTrie) LCP(batch []bitstr.String) []int {
 	if len(batch) == 0 {
 		return nil
 	}
+	defer t.sys.Phase("lcp")()
 	out := t.matchWithRedo(batch)
 	res := make([]int, len(batch))
 	for i := range batch {
@@ -52,6 +55,7 @@ func (t *PIMTrie) Get(batch []bitstr.String) (values []uint64, found []bool) {
 	if len(batch) == 0 {
 		return
 	}
+	defer t.sys.Phase("get")()
 	out := t.matchWithRedo(batch)
 	for i := range batch {
 		u := out.qt.Slot[i]
@@ -74,7 +78,9 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 	if len(keys) == 0 {
 		return
 	}
+	defer t.sys.Phase("insert")()
 	out := t.matchWithRedo(keys)
+	endApply := t.sys.Phase("apply")
 	// Resolve batch duplicates: last write wins.
 	val := make([]uint64, len(out.qt.Keys))
 	for i := range keys {
@@ -141,6 +147,7 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 			oversized = append(oversized, addrs[i])
 		}
 	}
+	endApply()
 	if len(oversized) > 0 {
 		t.splitBlocks(oversized)
 	}
@@ -153,7 +160,9 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	if len(keys) == 0 {
 		return res
 	}
+	defer t.sys.Phase("delete")()
 	out := t.matchWithRedo(keys)
+	endApply := t.sys.Phase("apply")
 	type del struct {
 		rel bitstr.String
 		u   int
@@ -224,6 +233,7 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 			emptied = append(emptied, addrs[i])
 		}
 	}
+	endApply()
 	if len(emptied) > 0 {
 		t.removeBlocks(emptied)
 	}
@@ -257,7 +267,9 @@ func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
 	if len(prefixes) == 0 {
 		return results
 	}
+	defer t.sys.Phase("subtree")()
 	out := t.matchWithRedo(prefixes)
+	endGather := t.sys.Phase("push-pull")
 
 	type fetch struct {
 		q     int // query index
@@ -327,6 +339,7 @@ func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
 		}
 		level = next
 	}
+	endGather()
 	for i := range results {
 		sortKVs(results[i])
 	}

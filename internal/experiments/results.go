@@ -1,0 +1,90 @@
+// Machine-readable experiment results: cmd/pimbench -json serializes
+// every table it ran through this file, so sweeps can be diffed and
+// plotted without scraping the aligned-text output.
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one experiment table in wire form. Cells keeps the table
+// verbatim (everything Format prints); Metrics holds the numeric cells
+// re-keyed as "<first-column-value>/<column-header>" so consumers can
+// index a value without knowing the table layout.
+type Result struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Header  []string           `json:"header"`
+	Rows    [][]string         `json:"rows"`
+	Notes   string             `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// FlatMetrics extracts every parseable numeric cell, keyed by the row's
+// first cell and the column header ("64/pim-trie": 12). Cells like
+// "128(scaled)" or "~7*" contribute their leading number; non-numeric
+// cells ("-") are skipped.
+func (t Table) FlatMetrics() map[string]float64 {
+	out := map[string]float64{}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		for i := 1; i < len(row) && i < len(t.Header); i++ {
+			v, ok := leadingNumber(row[i])
+			if !ok {
+				continue
+			}
+			out[row[0]+"/"+t.Header[i]] = v
+		}
+	}
+	return out
+}
+
+// leadingNumber parses the longest numeric prefix of a cell, ignoring a
+// leading "~" annotation.
+func leadingNumber(s string) (float64, bool) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "~")
+	end := 0
+	seenDigit := false
+	for end < len(s) {
+		c := s[end]
+		if c >= '0' && c <= '9' {
+			seenDigit = true
+		} else if !(c == '.' || (end == 0 && (c == '-' || c == '+'))) {
+			break
+		}
+		end++
+	}
+	if !seenDigit {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ToResult converts a table to its wire form.
+func (t Table) ToResult() Result {
+	return Result{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+		Notes: t.Notes, Metrics: t.FlatMetrics(),
+	}
+}
+
+// WriteResultsJSON writes the tables as one indented JSON document
+// mapping experiment ID to Result.
+func WriteResultsJSON(w io.Writer, tables []Table) error {
+	out := make(map[string]Result, len(tables))
+	for _, t := range tables {
+		out[t.ID] = t.ToResult()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

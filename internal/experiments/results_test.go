@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestFlatMetrics(t *testing.T) {
+	tb := Table{
+		ID:     "EX",
+		Header: []string{"l(bits)", "pim-trie", "dist-xfast", "dist-radix"},
+		Rows: [][]string{
+			{"64", "3", "7.50", "-"},
+			{"128", "4", "~8*", "25(scaled)"},
+		},
+	}
+	m := tb.FlatMetrics()
+	want := map[string]float64{
+		"64/pim-trie":    3,
+		"64/dist-xfast":  7.5,
+		"128/pim-trie":   4,
+		"128/dist-xfast": 8,
+		"128/dist-radix": 25,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("FlatMetrics = %v, want %v", m, want)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("FlatMetrics[%q] = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestWriteResultsJSON(t *testing.T) {
+	tb := Table{ID: "E0", Title: "t", Header: []string{"k", "v"}, Rows: [][]string{{"a", "1"}}}
+	var buf bytes.Buffer
+	if err := WriteResultsJSON(&buf, []Table{tb}); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := out["E0"]
+	if !ok || r.Metrics["a/v"] != 1 {
+		t.Fatalf("decoded %v", out)
+	}
+}

@@ -1,0 +1,216 @@
+// JSONL export/import of traces. A file holds one or more traces, each
+// a contiguous run of lines:
+//
+//	{"type":"trace","version":1,"label":"E2/sys00","p":32}
+//	{"type":"span","id":0,"parent":-1,"name":"lcp","path":"lcp",...}
+//	{"type":"round","i":0,"span":2,"path":"lcp/master-match",...}
+//	{"type":"end","total":{...},"unattributed":{...},"system":{...}}
+//
+// Lines are self-describing so the stream can be grepped and processed
+// with standard tools; cmd/pimtrie-trace is the reference consumer.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/pimlab/pimtrie/internal/pim"
+)
+
+const traceVersion = 1
+
+// metricsJSON is the wire form of pim.Metrics scalars; the per-module
+// vectors travel in separate fields of the owning line.
+type metricsJSON struct {
+	Rounds  int64 `json:"rounds"`
+	IOTime  int64 `json:"io_time"`
+	IOWords int64 `json:"io_words"`
+	PIMTime int64 `json:"pim_time"`
+	PIMWork int64 `json:"pim_work"`
+	CPUWork int64 `json:"cpu_work"`
+}
+
+func toMetricsJSON(m pim.Metrics) metricsJSON {
+	return metricsJSON{
+		Rounds: m.Rounds, IOTime: m.IOTime, IOWords: m.IOWords,
+		PIMTime: m.PIMTime, PIMWork: m.PIMWork, CPUWork: m.CPUWork,
+	}
+}
+
+func (j metricsJSON) metrics(io, wrk []int64) pim.Metrics {
+	return pim.Metrics{
+		Rounds: j.Rounds, IOTime: j.IOTime, IOWords: j.IOWords,
+		PIMTime: j.PIMTime, PIMWork: j.PIMWork, CPUWork: j.CPUWork,
+		PerModuleIO: io, PerModuleWrk: wrk,
+	}
+}
+
+// traceLine is the union of every line shape; Type discriminates.
+type traceLine struct {
+	Type    string `json:"type"`
+	Version int    `json:"version,omitempty"`
+	Label   string `json:"label,omitempty"`
+	P       int    `json:"p,omitempty"`
+
+	// span fields
+	ID      int          `json:"id,omitempty"`
+	Parent  *int         `json:"parent,omitempty"`
+	Name    string       `json:"name,omitempty"`
+	Path    string       `json:"path,omitempty"`
+	Start   int          `json:"start,omitempty"`
+	End     *int         `json:"end,omitempty"`
+	Metrics *metricsJSON `json:"metrics,omitempty"`
+	ModIO   []int64      `json:"module_io,omitempty"`
+	ModWork []int64      `json:"module_work,omitempty"`
+
+	// round fields
+	I       int     `json:"i,omitempty"`
+	Span    *int    `json:"span,omitempty"`
+	Tasks   int     `json:"tasks,omitempty"`
+	Modules int     `json:"modules,omitempty"`
+	Send    int64   `json:"send,omitempty"`
+	Recv    int64   `json:"recv,omitempty"`
+	MaxIO   int64   `json:"max_io,omitempty"`
+	MaxWork int64   `json:"max_work,omitempty"`
+	Work    int64   `json:"work,omitempty"`
+	ModID   []int   `json:"mod,omitempty"`
+	RModIO  []int64 `json:"mod_io,omitempty"`
+	RModWrk []int64 `json:"mod_work,omitempty"`
+
+	// end fields
+	Total        *metricsJSON `json:"total,omitempty"`
+	Unattributed *metricsJSON `json:"unattributed,omitempty"`
+	System       *metricsJSON `json:"system,omitempty"`
+	TotalModIO   []int64      `json:"total_module_io,omitempty"`
+	TotalModWork []int64      `json:"total_module_work,omitempty"`
+	UnattModIO   []int64      `json:"unattributed_module_io,omitempty"`
+	UnattModWork []int64      `json:"unattributed_module_work,omitempty"`
+	SysModIO     []int64      `json:"system_module_io,omitempty"`
+	SysModWork   []int64      `json:"system_module_work,omitempty"`
+	Detached     bool         `json:"detached,omitempty"`
+}
+
+// WriteJSONL writes the trace as one JSONL section.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(l traceLine) error { return enc.Encode(l) }
+	if err := emit(traceLine{Type: "trace", Version: traceVersion, Label: tr.Label, P: tr.P}); err != nil {
+		return err
+	}
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		m := toMetricsJSON(sp.M)
+		parent, end := sp.Parent, sp.End
+		if err := emit(traceLine{
+			Type: "span", ID: sp.ID, Parent: &parent, Name: sp.Name, Path: sp.Path,
+			Start: sp.Start, End: &end, Metrics: &m,
+			ModIO: sp.M.PerModuleIO, ModWork: sp.M.PerModuleWrk,
+		}); err != nil {
+			return err
+		}
+	}
+	for i := range tr.Rounds {
+		r := &tr.Rounds[i]
+		span := r.Span
+		if err := emit(traceLine{
+			Type: "round", I: r.Index, Span: &span, Path: r.Path,
+			Tasks: r.Tasks, Modules: r.Modules, Send: r.SendWords, Recv: r.RecvWords,
+			MaxIO: r.MaxIO, MaxWork: r.MaxWork, Work: r.Work,
+			ModID: r.ModID, RModIO: r.ModIO, RModWrk: r.ModWork,
+		}); err != nil {
+			return err
+		}
+	}
+	total, unatt, system := toMetricsJSON(tr.Total), toMetricsJSON(tr.Unattributed), toMetricsJSON(tr.System)
+	if err := emit(traceLine{
+		Type: "end", Total: &total, Unattributed: &unatt, System: &system,
+		TotalModIO: tr.Total.PerModuleIO, TotalModWork: tr.Total.PerModuleWrk,
+		UnattModIO: tr.Unattributed.PerModuleIO, UnattModWork: tr.Unattributed.PerModuleWrk,
+		SysModIO: tr.System.PerModuleIO, SysModWork: tr.System.PerModuleWrk,
+		Detached: tr.Detached,
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses every trace section in the stream.
+func ReadJSONL(r io.Reader) ([]*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var out []*Trace
+	var cur *Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l traceLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		switch l.Type {
+		case "trace":
+			if l.Version != traceVersion {
+				return nil, fmt.Errorf("obs: line %d: unsupported trace version %d", lineNo, l.Version)
+			}
+			cur = &Trace{Label: l.Label, P: l.P}
+			out = append(out, cur)
+		case "span":
+			if cur == nil {
+				return nil, fmt.Errorf("obs: line %d: span before trace header", lineNo)
+			}
+			sp := Span{ID: l.ID, Parent: -1, Name: l.Name, Path: l.Path, Start: l.Start, End: -1}
+			if l.Parent != nil {
+				sp.Parent = *l.Parent
+			}
+			if l.End != nil {
+				sp.End = *l.End
+			}
+			if l.Metrics != nil {
+				sp.M = l.Metrics.metrics(l.ModIO, l.ModWork)
+			}
+			cur.Spans = append(cur.Spans, sp)
+		case "round":
+			if cur == nil {
+				return nil, fmt.Errorf("obs: line %d: round before trace header", lineNo)
+			}
+			rd := Round{Index: l.I, Span: -1, Path: l.Path}
+			if l.Span != nil {
+				rd.Span = *l.Span
+			}
+			rd.RoundTrace = pim.RoundTrace{
+				Tasks: l.Tasks, Modules: l.Modules, SendWords: l.Send, RecvWords: l.Recv,
+				MaxIO: l.MaxIO, MaxWork: l.MaxWork, Work: l.Work,
+				ModID: l.ModID, ModIO: l.RModIO, ModWork: l.RModWrk,
+			}
+			cur.Rounds = append(cur.Rounds, rd)
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("obs: line %d: end before trace header", lineNo)
+			}
+			if l.Total != nil {
+				cur.Total = l.Total.metrics(l.TotalModIO, l.TotalModWork)
+			}
+			if l.Unattributed != nil {
+				cur.Unattributed = l.Unattributed.metrics(l.UnattModIO, l.UnattModWork)
+			}
+			if l.System != nil {
+				cur.System = l.System.metrics(l.SysModIO, l.SysModWork)
+			}
+			cur.Detached = l.Detached
+			cur = nil
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown line type %q", lineNo, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+// Package obs is the phase-attribution layer over the PIM simulator:
+// it turns the simulator's global cost counters into a per-phase cost
+// breakdown, which is what every claim of the reproduction (Table 1
+// bounds, the E7/E7b skew rows, the Theorem 4.3 checks) is ultimately
+// about. A Tracer attaches to a pim.System through the pim.Recorder
+// hook — the simulator never imports this package — and algorithm code
+// annotates itself with `defer sys.Phase("lcp")()` markers, which cost
+// nothing when no tracer is attached.
+//
+// Phases open nestable spans. Every BSP round executed while a span is
+// open is attributed to the *innermost* open span, so span metrics are
+// exclusive ("self" cost): summing all spans plus the unattributed
+// bucket reproduces the system's global Metrics delta exactly, a
+// conservation law the tests and the `pimtrie-trace -check` analyzer
+// both enforce. Each span also accumulates per-module IO/work vectors
+// (for skew heatmaps) and the trace remembers every round with its
+// owning span, giving a round-by-round timeline.
+//
+// Export is JSONL (see export.go); cmd/pimtrie-trace reads it back and
+// prints breakdowns, timelines and per-module skew summaries.
+package obs
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pimlab/pimtrie/internal/pim"
+)
+
+// Span is one closed or open phase instance: a node in the phase tree
+// with exclusive (innermost-attribution) cost.
+type Span struct {
+	ID     int    // index into the trace's span list
+	Parent int    // parent span ID, or -1 for a root span
+	Name   string // the label passed to sys.Phase
+	Path   string // slash-joined ancestor names, e.g. "lcp/master-match"
+	Start  int    // global index of the first round at or after opening
+	End    int    // global index one past the last possible round; -1 while open
+
+	// M is the span's exclusive cost: rounds executed while this span
+	// was the innermost open span, with the usual model metrics and
+	// full-length per-module IO/work vectors.
+	M pim.Metrics
+}
+
+// Round is one executed BSP round with its span attribution.
+type Round struct {
+	Index int    // global round index within the trace
+	Span  int    // owning span ID, or -1 if no span was open
+	Path  string // owning span's path ("" if unattributed)
+	pim.RoundTrace
+}
+
+// Tracer implements pim.Recorder: it maintains the open-span stack,
+// attributes every recorded event to the innermost span, and keeps the
+// full round log. All methods are safe for concurrent use, so snapshots
+// (Data, WriteJSONL) may be taken while a system is running.
+type Tracer struct {
+	mu    sync.Mutex
+	sys   *pim.System
+	label string
+	p     int
+	base  pim.Metrics // system snapshot at Attach
+
+	spans    []*Span
+	stack    []int // open span IDs, innermost last
+	rounds   []Round
+	total    pim.Metrics // everything recorded since Attach
+	unattrib pim.Metrics // recorded while no span was open
+
+	final    pim.Metrics // system delta snapshot taken at Detach
+	detached bool
+}
+
+// Attach creates a Tracer, snapshots the system's current metrics as
+// the baseline, and installs the tracer as the system's recorder. The
+// label names the trace in exports (e.g. "E2/sys03").
+func Attach(sys *pim.System, label string) *Tracer {
+	t := &Tracer{
+		sys:   sys,
+		label: label,
+		p:     sys.P(),
+		base:  sys.Metrics(),
+	}
+	t.total = zeroMetrics(t.p)
+	t.unattrib = zeroMetrics(t.p)
+	sys.SetRecorder(t)
+	return t
+}
+
+// Detach removes the tracer from its system, closes any still-open
+// spans, and snapshots the system's metrics delta since Attach for the
+// export's cross-check. Detach is idempotent.
+func (t *Tracer) Detach() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.detached {
+		return
+	}
+	t.detached = true
+	t.sys.SetRecorder(nil)
+	for len(t.stack) > 0 {
+		t.endInnermost()
+	}
+	t.final = t.sys.Metrics().Sub(t.base)
+}
+
+// Label returns the trace's label.
+func (t *Tracer) Label() string { return t.label }
+
+func zeroMetrics(p int) pim.Metrics {
+	return pim.Metrics{PerModuleIO: make([]int64, p), PerModuleWrk: make([]int64, p)}
+}
+
+// BeginPhase implements pim.Recorder.
+func (t *Tracer) BeginPhase(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path := name
+	parent := -1
+	if len(t.stack) > 0 {
+		parent = t.stack[len(t.stack)-1]
+		path = t.spans[parent].Path + "/" + name
+	}
+	sp := &Span{
+		ID: len(t.spans), Parent: parent, Name: name, Path: path,
+		Start: len(t.rounds), End: -1,
+		M: zeroMetrics(t.p),
+	}
+	t.spans = append(t.spans, sp)
+	t.stack = append(t.stack, sp.ID)
+}
+
+// EndPhase implements pim.Recorder.
+func (t *Tracer) EndPhase() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) == 0 {
+		panic("obs: EndPhase with no open span")
+	}
+	t.endInnermost()
+}
+
+func (t *Tracer) endInnermost() {
+	id := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	t.spans[id].End = len(t.rounds)
+}
+
+// RecordRound implements pim.Recorder: the round is attributed to the
+// innermost open span (or the unattributed bucket).
+func (t *Tracer) RecordRound(tr pim.RoundTrace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	target := &t.unattrib
+	span := -1
+	path := ""
+	if len(t.stack) > 0 {
+		span = t.stack[len(t.stack)-1]
+		target = &t.spans[span].M
+		path = t.spans[span].Path
+	}
+	addRound(target, tr)
+	addRound(&t.total, tr)
+	t.rounds = append(t.rounds, Round{
+		Index: len(t.rounds), Span: span, Path: path, RoundTrace: tr,
+	})
+}
+
+// RecordCPUWork implements pim.Recorder.
+func (t *Tracer) RecordCPUWork(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stack) > 0 {
+		t.spans[t.stack[len(t.stack)-1]].M.CPUWork += int64(n)
+	} else {
+		t.unattrib.CPUWork += int64(n)
+	}
+	t.total.CPUWork += int64(n)
+}
+
+// addRound folds one round trace into a metrics accumulator, mirroring
+// System.Round's own accounting.
+func addRound(m *pim.Metrics, tr pim.RoundTrace) {
+	m.Rounds++
+	m.IOTime += tr.MaxIO
+	m.IOWords += tr.SendWords + tr.RecvWords
+	m.PIMTime += tr.MaxWork
+	m.PIMWork += tr.Work
+	for j, id := range tr.ModID {
+		if id < len(m.PerModuleIO) {
+			m.PerModuleIO[id] += tr.ModIO[j]
+			m.PerModuleWrk[id] += tr.ModWork[j]
+		}
+	}
+}
+
+// Trace is an immutable snapshot of a Tracer (or one trace read back
+// from a JSONL file): the unit the exporter and the analyzer share.
+type Trace struct {
+	Label string
+	P     int
+	Spans []Span
+	Rounds []Round
+	Total        pim.Metrics
+	Unattributed pim.Metrics
+	// System is the traced system's own metrics delta between Attach and
+	// Detach — the independent cross-check for Total. Zero-valued when
+	// the tracer was never detached.
+	System   pim.Metrics
+	Detached bool
+}
+
+// Data snapshots the tracer. Open spans appear with End == -1.
+func (t *Tracer) Data() *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := &Trace{
+		Label:        t.label,
+		P:            t.p,
+		Spans:        make([]Span, len(t.spans)),
+		Rounds:       append([]Round(nil), t.rounds...),
+		Total:        copyMetrics(t.total),
+		Unattributed: copyMetrics(t.unattrib),
+		System:       copyMetrics(t.final),
+		Detached:     t.detached,
+	}
+	for i, sp := range t.spans {
+		d.Spans[i] = *sp
+		d.Spans[i].M = copyMetrics(sp.M)
+	}
+	return d
+}
+
+func copyMetrics(m pim.Metrics) pim.Metrics {
+	m.PerModuleIO = append([]int64(nil), m.PerModuleIO...)
+	m.PerModuleWrk = append([]int64(nil), m.PerModuleWrk...)
+	return m
+}
+
+// Check verifies the trace's conservation laws: span exclusive metrics
+// plus the unattributed bucket must equal the recorded total, and — for
+// a detached trace — the total must equal the system's own metrics
+// delta. It returns nil when everything sums.
+func (tr *Trace) Check() error {
+	sum := zeroMetrics(tr.P)
+	for _, sp := range tr.Spans {
+		sum = sum.Add(sp.M)
+	}
+	sum = sum.Add(tr.Unattributed)
+	if err := equalMetrics(sum, tr.Total, "spans+unattributed", "total"); err != nil {
+		return err
+	}
+	if tr.Detached {
+		if err := equalMetrics(tr.Total, tr.System, "total", "system delta"); err != nil {
+			return err
+		}
+	}
+	if int(tr.Total.Rounds) != len(tr.Rounds) {
+		return fmt.Errorf("obs: %d rounds recorded but total.Rounds = %d", len(tr.Rounds), tr.Total.Rounds)
+	}
+	return nil
+}
+
+func equalMetrics(a, b pim.Metrics, an, bn string) error {
+	type pair struct {
+		name string
+		x, y int64
+	}
+	for _, p := range []pair{
+		{"Rounds", a.Rounds, b.Rounds},
+		{"IOTime", a.IOTime, b.IOTime},
+		{"IOWords", a.IOWords, b.IOWords},
+		{"PIMTime", a.PIMTime, b.PIMTime},
+		{"PIMWork", a.PIMWork, b.PIMWork},
+		{"CPUWork", a.CPUWork, b.CPUWork},
+	} {
+		if p.x != p.y {
+			return fmt.Errorf("obs: %s.%s = %d but %s.%s = %d", an, p.name, p.x, bn, p.name, p.y)
+		}
+	}
+	for i := range a.PerModuleIO {
+		if i < len(b.PerModuleIO) && a.PerModuleIO[i] != b.PerModuleIO[i] {
+			return fmt.Errorf("obs: %s module %d IO = %d but %s has %d", an, i, a.PerModuleIO[i], bn, b.PerModuleIO[i])
+		}
+	}
+	for i := range a.PerModuleWrk {
+		if i < len(b.PerModuleWrk) && a.PerModuleWrk[i] != b.PerModuleWrk[i] {
+			return fmt.Errorf("obs: %s module %d work = %d but %s has %d", an, i, a.PerModuleWrk[i], bn, b.PerModuleWrk[i])
+		}
+	}
+	return nil
+}

@@ -174,7 +174,11 @@ type Metrics struct {
 	PerModuleWrk []int64
 }
 
-// Sub returns m - s, the cost incurred between two snapshots.
+// Sub returns m - s, the cost incurred between two snapshots. The
+// per-module vectors are subtracted index-wise up to the shorter length,
+// so snapshots taken from systems with different module counts (or
+// zero-value snapshots with no vectors at all) diff without panicking:
+// missing entries count as zero.
 func (m Metrics) Sub(s Metrics) Metrics {
 	d := Metrics{
 		Rounds:  m.Rounds - s.Rounds,
@@ -185,10 +189,58 @@ func (m Metrics) Sub(s Metrics) Metrics {
 		CPUWork: m.CPUWork - s.CPUWork,
 	}
 	d.PerModuleIO = make([]int64, len(m.PerModuleIO))
+	for i, v := range m.PerModuleIO {
+		if i < len(s.PerModuleIO) {
+			v -= s.PerModuleIO[i]
+		}
+		d.PerModuleIO[i] = v
+	}
 	d.PerModuleWrk = make([]int64, len(m.PerModuleWrk))
+	for i, v := range m.PerModuleWrk {
+		if i < len(s.PerModuleWrk) {
+			v -= s.PerModuleWrk[i]
+		}
+		d.PerModuleWrk[i] = v
+	}
+	return d
+}
+
+// Add returns m + s; per-module vectors are summed index-wise over the
+// longer of the two (the inverse of Sub's guard).
+func (m Metrics) Add(s Metrics) Metrics {
+	d := Metrics{
+		Rounds:  m.Rounds + s.Rounds,
+		IOTime:  m.IOTime + s.IOTime,
+		IOWords: m.IOWords + s.IOWords,
+		PIMTime: m.PIMTime + s.PIMTime,
+		PIMWork: m.PIMWork + s.PIMWork,
+		CPUWork: m.CPUWork + s.CPUWork,
+	}
+	n := len(m.PerModuleIO)
+	if len(s.PerModuleIO) > n {
+		n = len(s.PerModuleIO)
+	}
+	d.PerModuleIO = make([]int64, n)
 	for i := range d.PerModuleIO {
-		d.PerModuleIO[i] = m.PerModuleIO[i] - s.PerModuleIO[i]
-		d.PerModuleWrk[i] = m.PerModuleWrk[i] - s.PerModuleWrk[i]
+		if i < len(m.PerModuleIO) {
+			d.PerModuleIO[i] += m.PerModuleIO[i]
+		}
+		if i < len(s.PerModuleIO) {
+			d.PerModuleIO[i] += s.PerModuleIO[i]
+		}
+	}
+	n = len(m.PerModuleWrk)
+	if len(s.PerModuleWrk) > n {
+		n = len(s.PerModuleWrk)
+	}
+	d.PerModuleWrk = make([]int64, n)
+	for i := range d.PerModuleWrk {
+		if i < len(m.PerModuleWrk) {
+			d.PerModuleWrk[i] += m.PerModuleWrk[i]
+		}
+		if i < len(s.PerModuleWrk) {
+			d.PerModuleWrk[i] += s.PerModuleWrk[i]
+		}
 	}
 	return d
 }
@@ -233,6 +285,33 @@ type RoundTrace struct {
 	RecvWords int64 // total words read back
 	MaxIO     int64 // busiest module's words (to+from)
 	MaxWork   int64 // busiest module's accounted work
+	Work      int64 // total accounted module work this round
+
+	// Sparse per-module breakdown: ModID lists the modules addressed this
+	// round; ModIO[j] and ModWork[j] are module ModID[j]'s words (to+from)
+	// and accounted work. Populated only while tracing or while a Recorder
+	// is attached.
+	ModID   []int
+	ModIO   []int64
+	ModWork []int64
+}
+
+// Recorder observes a System's execution: phase open/close markers,
+// every executed round (with its per-module breakdown), and host-side
+// work accounting. It is the hook by which external attribution layers
+// (internal/obs) attach without this package importing them. All methods
+// are invoked synchronously from the host goroutine driving the system:
+// a Recorder needs no locking against the system itself, only against
+// its own concurrent readers.
+type Recorder interface {
+	// BeginPhase opens a named phase; phases nest (LIFO).
+	BeginPhase(name string)
+	// EndPhase closes the innermost open phase.
+	EndPhase()
+	// RecordRound is called after each executed round's accounting.
+	RecordRound(tr RoundTrace)
+	// RecordCPUWork is called for each CPUWork accounting event.
+	RecordCPUWork(n int)
 }
 
 // System is a host CPU plus P PIM modules.
@@ -246,6 +325,25 @@ type System struct {
 
 	trace   []RoundTrace
 	tracing bool
+
+	recorder Recorder
+}
+
+// systemHook, set via SetSystemHook, is invoked synchronously at the end
+// of every NewSystem call. Observability tooling (cmd/pimbench -trace)
+// uses it to attach a Recorder to each system an experiment creates
+// internally, without threading a handle through every constructor.
+var (
+	systemHookMu sync.Mutex
+	systemHook   func(*System)
+)
+
+// SetSystemHook installs (or, with nil, removes) the global new-system
+// hook. The hook runs synchronously inside NewSystem.
+func SetSystemHook(h func(*System)) {
+	systemHookMu.Lock()
+	systemHook = h
+	systemHookMu.Unlock()
 }
 
 // Option configures a System.
@@ -282,8 +380,33 @@ func NewSystem(p int, opts ...Option) *System {
 	}
 	s.metrics.PerModuleIO = make([]int64, p)
 	s.metrics.PerModuleWrk = make([]int64, p)
+	systemHookMu.Lock()
+	hook := systemHook
+	systemHookMu.Unlock()
+	if hook != nil {
+		hook(s)
+	}
 	return s
 }
+
+// SetRecorder attaches (or, with nil, detaches) a Recorder. Only one
+// recorder is active at a time; attaching replaces the previous one.
+func (s *System) SetRecorder(r Recorder) { s.recorder = r }
+
+// Phase opens a named phase on the attached recorder and returns the
+// closure that ends it, for use as `defer sys.Phase("lcp")()`. Without a
+// recorder it is a near-free no-op, so algorithm code can annotate
+// unconditionally.
+func (s *System) Phase(name string) func() {
+	r := s.recorder
+	if r == nil {
+		return noopPhaseEnd
+	}
+	r.BeginPhase(name)
+	return func() { r.EndPhase() }
+}
+
+var noopPhaseEnd = func() {}
 
 // P returns the number of PIM modules.
 func (s *System) P() int { return s.p }
@@ -297,7 +420,12 @@ func (s *System) RandModule() int {
 }
 
 // CPUWork accounts n host-side operations.
-func (s *System) CPUWork(n int) { s.metrics.CPUWork += int64(n) }
+func (s *System) CPUWork(n int) {
+	s.metrics.CPUWork += int64(n)
+	if s.recorder != nil {
+		s.recorder.RecordCPUWork(n)
+	}
+}
 
 // Metrics returns a snapshot of the cumulative counters.
 func (s *System) Metrics() Metrics {
@@ -332,6 +460,12 @@ func (s *System) Round(tasks []Task) []Resp {
 		// An empty round still synchronizes; count it to keep algorithms
 		// honest about their round structure.
 		s.metrics.Rounds++
+		if s.tracing {
+			s.trace = append(s.trace, RoundTrace{})
+		}
+		if s.recorder != nil {
+			s.recorder.RecordRound(RoundTrace{})
+		}
 		return resps
 	}
 	perModule := make([][]int, s.p)
@@ -364,8 +498,11 @@ func (s *System) Round(tasks []Task) []Resp {
 
 	// Accounting (host side, after the barrier).
 	s.metrics.Rounds++
-	var roundMaxIO, roundMaxWork, sendW, recvW int64
+	observing := s.tracing || s.recorder != nil
+	var roundMaxIO, roundMaxWork, sendW, recvW, workW int64
 	busy := 0
+	var modID []int
+	var modIO, modWork []int64
 	for mi, idxs := range perModule {
 		if len(idxs) == 0 {
 			continue
@@ -383,21 +520,34 @@ func (s *System) Round(tasks []Task) []Resp {
 		s.metrics.PerModuleWrk[mi] += w
 		s.metrics.IOWords += io
 		s.metrics.PIMWork += w
+		workW += w
 		if io > roundMaxIO {
 			roundMaxIO = io
 		}
 		if w > roundMaxWork {
 			roundMaxWork = w
 		}
+		if observing {
+			modID = append(modID, mi)
+			modIO = append(modIO, io)
+			modWork = append(modWork, w)
+		}
 	}
 	s.metrics.IOTime += roundMaxIO
 	s.metrics.PIMTime += roundMaxWork
-	if s.tracing {
-		s.trace = append(s.trace, RoundTrace{
+	if observing {
+		tr := RoundTrace{
 			Tasks: len(tasks), Modules: busy,
 			SendWords: sendW, RecvWords: recvW,
-			MaxIO: roundMaxIO, MaxWork: roundMaxWork,
-		})
+			MaxIO: roundMaxIO, MaxWork: roundMaxWork, Work: workW,
+			ModID: modID, ModIO: modIO, ModWork: modWork,
+		}
+		if s.tracing {
+			s.trace = append(s.trace, tr)
+		}
+		if s.recorder != nil {
+			s.recorder.RecordRound(tr)
+		}
 	}
 	return resps
 }

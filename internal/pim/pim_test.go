@@ -245,6 +245,118 @@ func TestEmptyRoundCounts(t *testing.T) {
 	}
 }
 
+func TestMetricsSubMismatchedVectors(t *testing.T) {
+	// Snapshots from systems with different module counts (or zero-value
+	// snapshots) must diff without panicking: missing entries are zero.
+	big := NewSystem(4)
+	big.Round([]Task{{Module: 3, SendWords: 9, Run: func(m *Module) Resp { return Resp{} }}})
+	small := NewSystem(2)
+	small.Round([]Task{{Module: 1, SendWords: 2, Run: func(m *Module) Resp { return Resp{} }}})
+
+	d := big.Metrics().Sub(small.Metrics())
+	if len(d.PerModuleIO) != 4 || d.PerModuleIO[3] != 9 || d.PerModuleIO[1] != -2 {
+		t.Fatalf("big-small per-module IO = %v", d.PerModuleIO)
+	}
+	d = small.Metrics().Sub(big.Metrics())
+	if len(d.PerModuleIO) != 2 || d.PerModuleIO[1] != 2 {
+		t.Fatalf("small-big per-module IO = %v", d.PerModuleIO)
+	}
+	// Zero-value snapshot on either side.
+	d = big.Metrics().Sub(Metrics{})
+	if d.PerModuleIO[3] != 9 {
+		t.Fatalf("sub of zero snapshot: %v", d.PerModuleIO)
+	}
+	d = Metrics{}.Sub(big.Metrics())
+	if len(d.PerModuleIO) != 0 || d.Rounds != -1 {
+		t.Fatalf("zero minus metrics: %+v", d)
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Rounds: 1, IOWords: 5, PerModuleIO: []int64{1, 2}, PerModuleWrk: []int64{3}}
+	b := Metrics{Rounds: 2, IOWords: 7, PerModuleIO: []int64{10}, PerModuleWrk: []int64{1, 1, 1}}
+	s := a.Add(b)
+	if s.Rounds != 3 || s.IOWords != 12 {
+		t.Fatalf("Add scalars: %+v", s)
+	}
+	if len(s.PerModuleIO) != 2 || s.PerModuleIO[0] != 11 || s.PerModuleIO[1] != 2 {
+		t.Fatalf("Add PerModuleIO: %v", s.PerModuleIO)
+	}
+	if len(s.PerModuleWrk) != 3 || s.PerModuleWrk[0] != 4 || s.PerModuleWrk[2] != 1 {
+		t.Fatalf("Add PerModuleWrk: %v", s.PerModuleWrk)
+	}
+}
+
+// logRecorder records every hook event for assertions.
+type logRecorder struct {
+	phases []string
+	rounds []RoundTrace
+	cpu    int64
+}
+
+func (r *logRecorder) BeginPhase(name string)    { r.phases = append(r.phases, "+"+name) }
+func (r *logRecorder) EndPhase()                 { r.phases = append(r.phases, "-") }
+func (r *logRecorder) RecordRound(tr RoundTrace) { r.rounds = append(r.rounds, tr) }
+func (r *logRecorder) RecordCPUWork(n int)       { r.cpu += int64(n) }
+
+func TestRecorderObservesRoundsPhasesAndCPU(t *testing.T) {
+	s := NewSystem(4)
+	rec := &logRecorder{}
+	s.SetRecorder(rec)
+	end := s.Phase("outer")
+	s.Round([]Task{
+		{Module: 1, SendWords: 3, Run: func(m *Module) Resp { m.Work(9); return Resp{RecvWords: 2} }},
+		{Module: 2, SendWords: 4, Run: func(m *Module) Resp { return Resp{RecvWords: 1} }},
+	})
+	s.CPUWork(5)
+	end()
+	s.Round(nil) // empty rounds are reported too
+	s.SetRecorder(nil)
+	s.Round([]Task{{Module: 0, SendWords: 1, Run: func(m *Module) Resp { return Resp{} }}})
+
+	if len(rec.phases) != 2 || rec.phases[0] != "+outer" || rec.phases[1] != "-" {
+		t.Fatalf("phases = %v", rec.phases)
+	}
+	if len(rec.rounds) != 2 {
+		t.Fatalf("recorded %d rounds, want 2", len(rec.rounds))
+	}
+	tr := rec.rounds[0]
+	if tr.MaxIO != 5 || tr.MaxWork != 9 || tr.Work != 9 || tr.SendWords != 7 || tr.RecvWords != 3 {
+		t.Fatalf("round trace: %+v", tr)
+	}
+	if len(tr.ModID) != 2 || tr.ModID[0] != 1 || tr.ModIO[0] != 5 || tr.ModWork[0] != 9 || tr.ModIO[1] != 5 {
+		t.Fatalf("sparse per-module: id=%v io=%v work=%v", tr.ModID, tr.ModIO, tr.ModWork)
+	}
+	if rec.cpu != 5 {
+		t.Fatalf("cpu = %d", rec.cpu)
+	}
+	if rec.rounds[1].Tasks != 0 {
+		t.Fatalf("empty round trace: %+v", rec.rounds[1])
+	}
+}
+
+func TestPhaseWithoutRecorderIsNoop(t *testing.T) {
+	s := NewSystem(1)
+	end := s.Phase("anything")
+	end() // must not panic
+}
+
+func TestSystemHook(t *testing.T) {
+	var got []*System
+	SetSystemHook(func(s *System) { got = append(got, s) })
+	defer SetSystemHook(nil)
+	a := NewSystem(2)
+	b := NewSystem(3)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("hook saw %d systems", len(got))
+	}
+	SetSystemHook(nil)
+	NewSystem(1)
+	if len(got) != 2 {
+		t.Fatal("hook ran after removal")
+	}
+}
+
 func BenchmarkRound64Modules(b *testing.B) {
 	s := NewSystem(64)
 	tasks := make([]Task, 64)
