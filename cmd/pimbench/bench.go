@@ -1,0 +1,217 @@
+package main
+
+// Wall-clock benchmark harness (-bench): measures what the PIM Model
+// deliberately abstracts away — the simulator's real execution speed on
+// the host machine. Every benchmark here reports ns/op, allocs/op and
+// rounds/s so each perf PR leaves a recorded trajectory (BENCH_PR*.json)
+// next to the model-metric artifacts the experiments produce.
+//
+// The suite is driven through testing.Benchmark, which is callable from
+// a normal binary; each entry is the DefaultScale twin of the Op
+// benchmarks in bench_test.go plus a raw engine fan-out benchmark that
+// isolates pim.System.Round dispatch overhead from index work.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// BenchResult is one benchmark's wall-clock record.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// RoundsPerSec is BSP rounds executed per wall-clock second during
+	// the timed section (0 for benchmarks that do not expose a system).
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+// BenchReport is the file format of -bench output (and of the checked-in
+// BENCH_PR*.json "before"/"after" sections).
+type BenchReport struct {
+	Scale      experiments.Scale `json:"scale"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	When       string            `json:"when"`
+	Results    []BenchResult     `json:"results"`
+}
+
+// benchCase is one harness entry: run executes the workload b.N times
+// and returns the number of BSP rounds executed inside the timed loop
+// (0 when rounds are not meaningful for the benchmark).
+type benchCase struct {
+	name string
+	run  func(b *testing.B, sc experiments.Scale) int64
+}
+
+func opIndex(sc experiments.Scale, seed int64) (*pimtrie.Index, []pimtrie.Key, *workload.Gen) {
+	g := workload.New(seed)
+	keys := g.VarLen(sc.N, 48, 192)
+	idx := pimtrie.New(sc.P, pimtrie.Options{Seed: seed})
+	idx.Load(keys, g.Values(len(keys)))
+	return idx, keys, g
+}
+
+var benchCases = []benchCase{
+	{"OpLCPBatch", func(b *testing.B, sc experiments.Scale) int64 {
+		idx, keys, g := opIndex(sc, 1)
+		queries := g.PrefixQueries(keys, sc.Batch, 16)
+		before := idx.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.LCP(queries)
+		}
+		return idx.Metrics().Rounds - before
+	}},
+	{"OpGetBatch", func(b *testing.B, sc experiments.Scale) int64 {
+		idx, keys, g := opIndex(sc, 2)
+		queries := g.Zipf(keys, sc.Batch, 1.2)
+		before := idx.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.Get(queries)
+		}
+		return idx.Metrics().Rounds - before
+	}},
+	{"OpInsertDeleteBatch", func(b *testing.B, sc experiments.Scale) int64 {
+		idx, _, g := opIndex(sc, 3)
+		fresh := g.FixedLen(sc.Batch, 128)
+		values := g.Values(len(fresh))
+		before := idx.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.Insert(fresh, values)
+			idx.Delete(fresh)
+		}
+		return idx.Metrics().Rounds - before
+	}},
+	{"OpSubtreeBatch", func(b *testing.B, sc experiments.Scale) int64 {
+		g := workload.New(4)
+		keys := g.SharedPrefix(sc.N, 24, 96)
+		idx := pimtrie.New(sc.P, pimtrie.Options{Seed: 4})
+		idx.Load(keys, g.Values(len(keys)))
+		prefixes := make([]pimtrie.Key, 16)
+		for i := range prefixes {
+			prefixes[i] = keys[i*7%len(keys)].Prefix(32)
+		}
+		before := idx.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.Subtrees(prefixes)
+		}
+		return idx.Metrics().Rounds - before
+	}},
+	{"OpBulkLoad", func(b *testing.B, sc experiments.Scale) int64 {
+		g := workload.New(5)
+		keys := g.VarLen(sc.N, 48, 192)
+		values := g.Values(len(keys))
+		var rounds int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx := pimtrie.New(sc.P, pimtrie.Options{Seed: 5})
+			idx.Load(keys, values)
+			rounds += idx.Metrics().Rounds
+		}
+		return rounds
+	}},
+	// RoundFanout isolates the engine: one round of Batch trivial tasks
+	// spread over the modules, repeated. Dispatch, bucketing and
+	// accounting dominate; module programs are a single Work(1).
+	{"RoundFanout", func(b *testing.B, sc experiments.Scale) int64 {
+		sys := pim.NewSystem(sc.P, pim.WithSeed(9))
+		tasks := make([]pim.Task, sc.Batch)
+		for i := range tasks {
+			tasks[i] = pim.Task{
+				Module:    i % sc.P,
+				SendWords: 1,
+				Run: func(m *pim.Module) pim.Resp {
+					m.Work(1)
+					return pim.Resp{RecvWords: 1}
+				},
+			}
+		}
+		before := sys.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Round(tasks)
+		}
+		return sys.Metrics().Rounds - before
+	}},
+	// RoundSparse drives many near-empty rounds (one task each), the
+	// pattern of pointer-chasing baselines and maintenance cascades.
+	{"RoundSparse", func(b *testing.B, sc experiments.Scale) int64 {
+		sys := pim.NewSystem(sc.P, pim.WithSeed(10))
+		task := []pim.Task{{
+			Module:    1,
+			SendWords: 1,
+			Run: func(m *pim.Module) pim.Resp {
+				m.Work(1)
+				return pim.Resp{RecvWords: 1}
+			},
+		}}
+		before := sys.Metrics().Rounds
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Round(task)
+		}
+		return sys.Metrics().Rounds - before
+	}},
+}
+
+// runBenchSuite executes the harness at the given scale and writes the
+// JSON report to path ("-" for stdout-only).
+func runBenchSuite(sc experiments.Scale, path string) error {
+	rep := BenchReport{
+		Scale:      sc,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("bench: wall-clock suite at P=%d n=%d batch=%d (GOMAXPROCS=%d)\n\n",
+		sc.P, sc.N, sc.Batch, rep.GoMaxProcs)
+	for _, bc := range benchCases {
+		bc := bc
+		var rounds int64
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			rounds = bc.run(b, sc)
+		})
+		r := BenchResult{
+			Name:        bc.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if rounds > 0 && res.T > 0 {
+			r.RoundsPerSec = float64(rounds) / res.T.Seconds()
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-22s %10d iter  %14.0f ns/op  %9d allocs/op  %12.0f rounds/s\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.RoundsPerSec)
+	}
+	fmt.Println()
+	if path == "" || path == "-" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

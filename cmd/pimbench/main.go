@@ -10,6 +10,7 @@
 //	pimbench -list                   # list experiment IDs
 //	pimbench -exp E2 -trace t.jsonl  # phase-attributed trace (pimtrie-trace reads it)
 //	pimbench -json results.json      # machine-readable tables
+//	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
 package main
 
 import (
@@ -101,8 +102,18 @@ func main() {
 		seed  = flag.Int64("seed", experiments.DefaultScale.Seed, "workload/placement seed")
 		trace = flag.String("trace", "", "write a phase-attributed JSONL trace of every system to this path")
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
+		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		if err := runBenchSuite(sc, *bench); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range registry {

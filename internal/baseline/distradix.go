@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -68,7 +69,12 @@ func NewDistRadix(sys *pim.System, span int, keys []bitstr.String, values []uint
 	})
 	tasks := make([]pim.Task, len(order))
 	objs := make([]*drNode, len(order))
-	for i, n := range order {
+	mods := make([]int, len(order))
+	for i := range mods {
+		mods[i] = sys.RandModule()
+	}
+	parallel.For(len(order), func(i int) {
+		n := order[i]
 		obj := &drNode{hasValue: n.HasValue, value: n.Value}
 		for b := 0; b < 2; b++ {
 			if e := n.Child[b]; e != nil {
@@ -78,13 +84,13 @@ func NewDistRadix(sys *pim.System, span int, keys []bitstr.String, values []uint
 		}
 		objs[i] = obj
 		tasks[i] = pim.Task{
-			Module:    sys.RandModule(),
+			Module:    mods[i],
 			SendWords: obj.SizeWords(),
 			Run: func(m *pim.Module) pim.Resp {
 				return pim.Resp{RecvWords: 1, Value: m.Alloc(obj)}
 			},
 		}
-	}
+	})
 	addrOf := map[*trie.Node]pim.Addr{}
 	for i, r := range d.sys.Round(tasks) {
 		addrOf[order[i]] = r.Value.(pim.Addr)
@@ -132,16 +138,18 @@ func (d *DistRadix) LCP(batch []bitstr.String) []int {
 	defer endChase()
 	active := len(batch)
 	for active > 0 {
-		var tasks []pim.Task
 		var idxs []int
 		for i := range cur {
-			if cur[i].done {
-				continue
+			if !cur[i].done {
+				idxs = append(idxs, i)
 			}
-			i := i
+		}
+		tasks := make([]pim.Task, len(idxs))
+		parallel.For(len(idxs), func(k int) {
+			i := idxs[k]
 			c := cur[i]
 			q := batch[i]
-			tasks = append(tasks, pim.Task{
+			tasks[k] = pim.Task{
 				Module: c.at.Module,
 				// Ship the next span bits of the query plus the cursor.
 				SendWords: d.span/bitstr.WordBits + 2,
@@ -163,9 +171,8 @@ func (d *DistRadix) LCP(batch []bitstr.String) []int {
 					}
 					return pim.Resp{RecvWords: 2, Value: drCursor{at: n.child[b], pos: c.pos + l}}
 				},
-			})
-			idxs = append(idxs, i)
-		}
+			}
+		})
 		for k, r := range d.sys.Round(tasks) {
 			nc := r.Value.(drCursor)
 			cur[idxs[k]] = nc

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -110,13 +111,14 @@ func (rp *RangePart) LCP(batch []bitstr.String) []int {
 		part int
 		dir  int // 0 first probe, -1 widen left, +1 widen right
 	}
-	var pending []probe
-	for i, q := range batch {
-		pending = append(pending, probe{q: i, part: rp.route(q)})
-	}
+	pending := make([]probe, len(batch))
+	parallel.For(len(batch), func(i int) {
+		pending[i] = probe{q: i, part: rp.route(batch[i])}
+	})
 	for len(pending) > 0 {
 		tasks := make([]pim.Task, len(pending))
-		for k, pr := range pending {
+		parallel.For(len(pending), func(k int) {
+			pr := pending[k]
 			q := batch[pr.q]
 			addr := rp.parts[pr.part]
 			tasks[k] = pim.Task{
@@ -136,7 +138,7 @@ func (rp *RangePart) LCP(batch []bitstr.String) []int {
 					return pim.Resp{RecvWords: 2, Value: [3]int{l, b2i(needL), b2i(needR)}}
 				},
 			}
-		}
+		})
 		var next []probe
 		for k, r := range rp.sys.Round(tasks) {
 			pr := pending[k]
@@ -166,10 +168,13 @@ func b2i(b bool) int {
 // Insert routes each key to its range and inserts locally — one round,
 // constant communication, but a skewed batch serializes on one module.
 func (rp *RangePart) Insert(keys []bitstr.String, values []uint64) {
+	// Routing (a binary search per key) fans out; grouping stays serial
+	// so per-partition lists keep batch order.
+	parts := make([]int, len(keys))
+	parallel.For(len(keys), func(i int) { parts[i] = rp.route(keys[i]) })
 	groups := map[int][]int{}
-	for i, k := range keys {
-		p := rp.route(k)
-		groups[p] = append(groups[p], i)
+	for i := range keys {
+		groups[parts[i]] = append(groups[parts[i]], i)
 	}
 	var tasks []pim.Task
 	fresh := make([]int, len(groups))
@@ -209,9 +214,11 @@ func (rp *RangePart) Insert(keys []bitstr.String, values []uint64) {
 // Delete routes and deletes locally, one round.
 func (rp *RangePart) Delete(keys []bitstr.String) []bool {
 	out := make([]bool, len(keys))
+	parts := make([]int, len(keys))
+	parallel.For(len(keys), func(i int) { parts[i] = rp.route(keys[i]) })
 	groups := map[int][]int{}
-	for i, k := range keys {
-		groups[rp.route(k)] = append(groups[rp.route(k)], i)
+	for i := range keys {
+		groups[parts[i]] = append(groups[parts[i]], i)
 	}
 	var tasks []pim.Task
 	var taskIdxs [][]int

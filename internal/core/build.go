@@ -12,6 +12,7 @@ import (
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/hashing"
 	"github.com/pimlab/pimtrie/internal/hvm"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -87,11 +88,17 @@ func (t *PIMTrie) installBlocks(specs []*trie.BlockSpec) error {
 	// Clear all previous module state except master replicas.
 	t.clearObjects()
 
-	// One round: allocate every block on a uniformly random module.
+	// One round: allocate every block on a uniformly random module. The
+	// placement draws stay serial (RNG sequence); hashing each block's
+	// root string — the bulk of the host work here — fans out.
 	tasks := make([]pim.Task, len(specs))
 	metas := make([]*blockMeta, len(specs))
-	for i, sp := range specs {
-		sp := sp
+	mods := make([]int, len(specs))
+	for i := range mods {
+		mods[i] = t.sys.RandModule()
+	}
+	parallel.For(len(specs), func(i int) {
+		sp := specs[i]
 		val := t.h.Hash(sp.RootString)
 		metas[i] = &blockMeta{
 			parent: pim.NilAddr,
@@ -108,13 +115,13 @@ func (t *PIMTrie) installBlocks(specs []*trie.BlockSpec) error {
 		}
 		bo.rootHash = t.h.Out(val)
 		tasks[i] = pim.Task{
-			Module:    t.sys.RandModule(),
+			Module:    mods[i],
 			SendWords: sp.SizeWords(),
 			Run: func(m *pim.Module) pim.Resp {
 				return pim.Resp{RecvWords: 1, Value: m.Alloc(bo)}
 			},
 		}
-	}
+	})
 	resps := t.sys.Round(tasks)
 	for i, r := range resps {
 		metas[i].addr = r.Value.(pim.Addr)
@@ -215,13 +222,16 @@ func (t *PIMTrie) assembleHVM(metas []*blockMeta) error {
 	defer t.sys.Phase("assemble-hvm")()
 	// Build the meta-tree host-side; detect hash collisions eagerly.
 	nodes := make([]*hvm.MetaNode, len(metas))
-	byAddr := make(map[pim.Addr]int, len(metas))
-	for i, bm := range metas {
+	parallel.For(len(metas), func(i int) {
+		bm := metas[i]
 		hashPre, srem := t.pivotAug(bm.val, bm.sLast)
 		nodes[i] = &hvm.MetaNode{
 			Hash: t.h.Out(bm.val), Len: bm.len, SLast: bm.sLast, Block: bm.addr,
 			HashPre: hashPre, SRem: srem,
 		}
+	})
+	byAddr := make(map[pim.Addr]int, len(metas))
+	for i, bm := range metas {
 		byAddr[bm.addr] = i
 	}
 	var root *hvm.MetaNode
@@ -266,18 +276,23 @@ func (t *PIMTrie) assembleHVM(metas []*blockMeta) error {
 			return err
 		}
 	}
-	// One round: allocate regions on random modules.
+	// One round: allocate regions on random modules (draws serial,
+	// SizeWords — a full region walk — in parallel).
 	tasks := make([]pim.Task, len(regions))
-	for i, reg := range regions {
-		reg := reg
+	regMods := make([]int, len(regions))
+	for i := range regMods {
+		regMods[i] = t.sys.RandModule()
+	}
+	parallel.For(len(regions), func(i int) {
+		reg := regions[i]
 		tasks[i] = pim.Task{
-			Module:    t.sys.RandModule(),
+			Module:    regMods[i],
 			SendWords: reg.SizeWords(),
 			Run: func(m *pim.Module) pim.Resp {
 				return pim.Resp{RecvWords: 1, Value: m.Alloc(&regionObj{r: reg})}
 			},
 		}
-	}
+	})
 	resps := t.sys.Round(tasks)
 	regAddr := make(map[*hvm.Region]pim.Addr, len(regions))
 	for i, r := range resps {

@@ -1,0 +1,101 @@
+package core
+
+// Determinism regression test for the wall-clock fast path: the PIM
+// Model metrics and every query result must be bit-identical no matter
+// how many host workers or module executors run. Parallelism is an
+// implementation detail of the simulator; the model's costs are defined
+// by the round structure alone.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/parallel"
+	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/trie"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// suiteResult captures everything observable from one full run of the
+// operation mix.
+type suiteResult struct {
+	metrics  pim.Metrics
+	lcp1     []int
+	values   []uint64
+	found    []bool
+	deleted  []bool
+	subtrees [][]trie.KV
+	lcp2     []int
+	stats    Stats
+}
+
+// runOpSuite drives Build, LCP, Insert, Get, Delete, SubtreeQueryBatch
+// and a final LCP with both the module-executor fan-out and the
+// host-side worker count fixed to par.
+func runOpSuite(par int) suiteResult {
+	prev := parallel.SetMaxProcs(par)
+	defer parallel.SetMaxProcs(prev)
+
+	const (
+		p     = 16
+		n     = 3000
+		batch = 256
+	)
+	g := workload.New(1)
+	keys := g.VarLen(n, 48, 160)
+	values := g.Values(len(keys))
+	queries := g.PrefixQueries(keys, batch, 16)
+	fresh := g.FixedLen(batch, 96)
+	freshVals := g.Values(len(fresh))
+
+	sys := pim.NewSystem(p, pim.WithSeed(1), pim.WithMaxParallelism(par))
+	defer sys.Close()
+	pt := New(sys, Config{HashSeed: 1})
+	pt.Build(keys, values)
+
+	var r suiteResult
+	r.lcp1 = pt.LCP(queries)
+	pt.Insert(fresh, freshVals)
+	r.values, r.found = pt.Get(fresh)
+	r.deleted = pt.Delete(keys[:batch])
+	prefixes := make([]bitstr.String, 8)
+	for i := range prefixes {
+		prefixes[i] = keys[batch+i*13].Prefix(24)
+	}
+	r.subtrees = pt.SubtreeQueryBatch(prefixes)
+	r.lcp2 = pt.LCP(queries)
+	r.metrics = sys.Metrics()
+	r.stats = pt.CollectStats()
+	return r
+}
+
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	serial := runOpSuite(1)
+	serialAgain := runOpSuite(1)
+	wide := runOpSuite(8)
+
+	if !reflect.DeepEqual(serial, serialAgain) {
+		t.Fatalf("serial run is not reproducible with a fixed seed")
+	}
+	if !reflect.DeepEqual(serial.metrics, wide.metrics) {
+		t.Errorf("metrics differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
+			serial.metrics, wide.metrics)
+	}
+	if !reflect.DeepEqual(serial.lcp1, wide.lcp1) || !reflect.DeepEqual(serial.lcp2, wide.lcp2) {
+		t.Errorf("LCP results differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.values, wide.values) || !reflect.DeepEqual(serial.found, wide.found) {
+		t.Errorf("Get results differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.deleted, wide.deleted) {
+		t.Errorf("Delete results differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.subtrees, wide.subtrees) {
+		t.Errorf("Subtree results differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.stats, wide.stats) {
+		t.Errorf("stats differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
+			serial.stats, wide.stats)
+	}
+}

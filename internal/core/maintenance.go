@@ -17,6 +17,7 @@ package core
 import (
 	"github.com/pimlab/pimtrie/internal/hashing"
 	"github.com/pimlab/pimtrie/internal/hvm"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -128,18 +129,23 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 		return
 	}
 
-	// Round 2: allocate the new blocks on random modules.
+	// Round 2: allocate the new blocks on random modules. Placement draws
+	// stay serial; the per-block size walks fan out.
 	alloc := make([]pim.Task, len(allNew))
-	for i, nb := range allNew {
-		nb := nb
+	mods := make([]int, len(allNew))
+	for i := range mods {
+		mods[i] = t.sys.RandModule()
+	}
+	parallel.For(len(allNew), func(i int) {
+		nb := allNew[i]
 		alloc[i] = pim.Task{
-			Module:    t.sys.RandModule(),
+			Module:    mods[i],
 			SendWords: nb.bo.SizeWords(),
 			Run: func(m *pim.Module) pim.Resp {
 				return pim.Resp{RecvWords: 1, Value: m.Alloc(nb.bo)}
 			},
 		}
-	}
+	})
 	newAddr := make([]pim.Addr, len(allNew))
 	for i, r := range t.sys.Round(alloc) {
 		newAddr[i] = r.Value.(pim.Addr)
@@ -234,7 +240,11 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 	}
 	insByRegion := map[pim.Addr][]metaIns{}
 	repByRegion := map[pim.Addr][]reparent{}
+	var regionOrder []pim.Addr // first-seen order for deterministic emission
 	for i, nb := range allNew {
+		if _, seen := insByRegion[nb.bo.region]; !seen {
+			regionOrder = append(regionOrder, nb.bo.region)
+		}
 		parentHash := uint64(0)
 		if nb.parent >= 0 {
 			parentHash = allNew[nb.parent].bo.rootHash
@@ -268,7 +278,7 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 	}
 	rTasks := make([]pim.Task, 0, len(insByRegion))
 	rAddrs := make([]pim.Addr, 0, len(insByRegion))
-	for ra := range insByRegion {
+	for _, ra := range regionOrder {
 		ra := ra
 		ins := insByRegion[ra]
 		reps := repByRegion[ra]
@@ -399,18 +409,23 @@ func (t *PIMTrie) splitRegions(over []pim.Addr) {
 		return
 	}
 	// Round 2: allocate new regions (the receiver regions shrank in
-	// place; charge a write-back resize).
+	// place; charge a write-back resize). Draws serial, size walks
+	// parallel.
 	alloc := make([]pim.Task, len(parts))
-	for i, p := range parts {
-		p := p
+	mods := make([]int, len(parts))
+	for i := range mods {
+		mods[i] = t.sys.RandModule()
+	}
+	parallel.For(len(parts), func(i int) {
+		p := parts[i]
 		alloc[i] = pim.Task{
-			Module:    t.sys.RandModule(),
+			Module:    mods[i],
 			SendWords: p.reg.SizeWords(),
 			Run: func(m *pim.Module) pim.Resp {
 				return pim.Resp{RecvWords: 1, Value: m.Alloc(&regionObj{r: p.reg})}
 			},
 		}
-	}
+	})
 	partAddr := make([]pim.Addr, len(parts))
 	for i, r := range t.sys.Round(alloc) {
 		partAddr[i] = r.Value.(pim.Addr)
@@ -508,7 +523,11 @@ func (t *PIMTrie) removeBlocks(emptied []pim.Addr) {
 		// Round 2: remove the meta-nodes. Root removals move the master
 		// entry to the promoted child and may spawn per-child regions.
 		byRegion := map[pim.Addr][]int{}
+		var regionOrder []pim.Addr // first-seen order for deterministic emission
 		for i, v := range victims {
+			if _, seen := byRegion[v.region]; !seen {
+				regionOrder = append(regionOrder, v.region)
+			}
 			byRegion[v.region] = append(byRegion[v.region], i)
 		}
 		type regionOutcome struct {
@@ -519,8 +538,8 @@ func (t *PIMTrie) removeBlocks(emptied []pim.Addr) {
 		}
 		rTasks := make([]pim.Task, 0, len(byRegion))
 		rAddrs := make([]pim.Addr, 0, len(byRegion))
-		for ra, idxs := range byRegion {
-			ra, idxs := ra, idxs
+		for _, ra := range regionOrder {
+			ra, idxs := ra, byRegion[ra]
 			rTasks = append(rTasks, pim.Task{
 				Module:    ra.Module,
 				SendWords: len(idxs) + 1,
@@ -575,16 +594,20 @@ func (t *PIMTrie) removeBlocks(emptied []pim.Addr) {
 		// Place spawned regions and register their roots.
 		if len(spawned) > 0 {
 			alloc := make([]pim.Task, len(spawned))
-			for i, reg := range spawned {
-				reg := reg
+			mods := make([]int, len(spawned))
+			for i := range mods {
+				mods[i] = t.sys.RandModule()
+			}
+			parallel.For(len(spawned), func(i int) {
+				reg := spawned[i]
 				alloc[i] = pim.Task{
-					Module:    t.sys.RandModule(),
+					Module:    mods[i],
 					SendWords: reg.SizeWords(),
 					Run: func(m *pim.Module) pim.Resp {
 						return pim.Resp{RecvWords: 1, Value: m.Alloc(&regionObj{r: reg})}
 					},
 				}
-			}
+			})
 			placed := make([]regionPlacement, len(spawned))
 			for i, r := range t.sys.Round(alloc) {
 				placed[i] = regionPlacement{reg: spawned[i], addr: r.Value.(pim.Addr)}

@@ -23,6 +23,7 @@ import (
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/hashing"
 	"github.com/pimlab/pimtrie/internal/hvm"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/querytrie"
 	"github.com/pimlab/pimtrie/internal/trie"
@@ -214,15 +215,21 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		info: t.masterInfo(t.h.Out(rootVal)),
 	}
 	tasks := make([]pim.Task, len(chunks))
-	for i, ch := range chunks {
-		ch := ch
+	// Target modules are drawn serially first so the RNG sequence matches
+	// the serial loop; task construction then fans out (disjoint writes).
+	mods := make([]int, len(chunks))
+	for i := range mods {
+		mods[i] = t.sys.RandModule()
+	}
+	parallel.For(len(chunks), func(i int) {
+		ch := chunks[i]
 		words := 0
 		for _, s := range ch {
 			words += s.words()
 		}
 		addrs := t.masterAddrs
 		tasks[i] = pim.Task{
-			Module:    t.sys.RandModule(),
+			Module:    mods[i],
 			SendWords: words,
 			Run: func(m *pim.Module) pim.Resp {
 				mo := m.Get(addrs[m.ID()].ID).(*masterObj)
@@ -236,15 +243,12 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 				return pim.Resp{RecvWords: len(hits)*metaInfoWords + 1, Value: hits}
 			},
 		}
-	}
-	masterHits := []hitRec{rootHit}
+	})
+	var masterRaw []rawHit
 	for _, r := range t.sys.Round(tasks) {
-		for _, rh := range r.Value.([]rawHit) {
-			if h := t.verifyHit(rh); h != nil {
-				masterHits = append(masterHits, *h)
-			}
-		}
+		masterRaw = append(masterRaw, r.Value.([]rawHit)...)
 	}
+	masterHits := append([]hitRec{rootHit}, t.verifyHits(masterRaw)...)
 	masterHits = dedupeHits(masterHits)
 	endMaster()
 
@@ -293,29 +297,46 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		}
 	}
 	cResps := t.sys.Round(cTasks)
-	var regionHits []hitRec
+	// Map each kind to its response slot serially (the walk mirrors the
+	// order tasks were appended), then run the host-side probes of pulled
+	// regions in parallel — they only read the fetched snapshots.
+	respOf := make([]int, len(cKinds))
 	respIdx := 0
-	for _, k := range cKinds {
-		regAddr := k.pc.hit.info.Region
-		var hits []rawHit
+	for i, k := range cKinds {
 		if !k.pull {
-			hits = cResps[respIdx].Value.([]rawHit)
+			respOf[i] = respIdx
 			respIdx++
-		} else {
-			if ti, ok := pulledRegion[regAddr]; ok && ti == respIdx {
-				respIdx++ // consume the fetch response slot
-			}
-			ro := cResps[pulledRegion[regAddr]].Value.(*regionObj)
-			cpu := 0
-			hits = t.regionProbe(k.pc.segs, ro.r, regAddr, func(w int) { cpu += w })
-			t.sys.CPUWork(cpu)
+			continue
 		}
-		for _, rh := range hits {
-			if h := t.verifyHit(rh); h != nil {
-				regionHits = append(regionHits, *h)
-			}
+		ti := pulledRegion[k.pc.hit.info.Region]
+		respOf[i] = ti
+		if ti == respIdx {
+			respIdx++ // consume the fetch response slot
 		}
 	}
+	hitsByKind := make([][]rawHit, len(cKinds))
+	cpuByKind := make([]int, len(cKinds))
+	parallel.For(len(cKinds), func(i int) {
+		k := cKinds[i]
+		if !k.pull {
+			hitsByKind[i] = cResps[respOf[i]].Value.([]rawHit)
+			return
+		}
+		ro := cResps[respOf[i]].Value.(*regionObj)
+		cpu := 0
+		hitsByKind[i] = t.regionProbe(k.pc.segs, ro.r, k.pc.hit.info.Region, func(w int) { cpu += w })
+		cpuByKind[i] = cpu
+	})
+	probeCPU := 0
+	var regionRaw []rawHit
+	for i := range cKinds {
+		probeCPU += cpuByKind[i]
+		regionRaw = append(regionRaw, hitsByKind[i]...)
+	}
+	if probeCPU > 0 {
+		t.sys.CPUWork(probeCPU)
+	}
+	regionHits := t.verifyHits(regionRaw)
 	endRegion()
 
 	// ----- Phase D: block matching -------------------------------------
@@ -331,12 +352,14 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		pieces:      pieces,
 	}
 	merged := &matchReport{reach: out.reach, exact: out.exact}
-	dTasks := make([]pim.Task, len(pieces))
-	for i, pc := range pieces {
-		pc := pc
+	for _, pc := range pieces {
 		for _, n := range pc.nodes {
 			out.anchorPiece[n] = pc
 		}
+	}
+	dTasks := make([]pim.Task, len(pieces))
+	parallel.For(len(pieces), func(i int) {
+		pc := pieces[i]
 		blk := pc.hit.info.Block
 		if pc.words <= t.cfg.PullThreshold {
 			dTasks[i] = pim.Task{
@@ -358,17 +381,32 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 				},
 			}
 		}
-	}
-	for i, r := range t.sys.Round(dTasks) {
-		switch v := r.Value.(type) {
+	})
+	// Host-side matching of pulled blocks fans out; reports are folded
+	// serially in task order because merge prefers the first non-mirror
+	// exact entry.
+	dResps := t.sys.Round(dTasks)
+	reps := make([]*matchReport, len(dResps))
+	cpuByPiece := make([]int, len(dResps))
+	parallel.For(len(dResps), func(i int) {
+		switch v := dResps[i].Value.(type) {
 		case *matchReport:
-			merged.merge(v)
+			reps[i] = v
 		case *blockObj:
 			cpu := 0
-			rep := matchPiece(pieces[i].root, pieces[i].childKeys, v.tr, func(w int) { cpu += w })
-			t.sys.CPUWork(cpu)
+			reps[i] = matchPiece(pieces[i].root, pieces[i].childKeys, v.tr, func(w int) { cpu += w })
+			cpuByPiece[i] = cpu
+		}
+	})
+	matchCPU := 0
+	for i, rep := range reps {
+		matchCPU += cpuByPiece[i]
+		if rep != nil {
 			merged.merge(rep)
 		}
+	}
+	if matchCPU > 0 {
+		t.sys.CPUWork(matchCPU)
 	}
 	return out, nil
 }
@@ -388,18 +426,53 @@ func (t *PIMTrie) masterInfo(h uint64) metaInfo {
 // (two block roots sharing a hash) are detected separately at index
 // build time and trigger the global re-hash.
 func (t *PIMTrie) verifyHit(rh rawHit) *hitRec {
-	depth := rh.edge.From.Depth + rh.off
 	t.sys.CPUWork(2)
-	if rh.info.Len != depth {
+	h := t.checkHit(rh)
+	if h == nil {
 		t.falseHits++
+	}
+	return h
+}
+
+// checkHit is verifyHit's pure core: no metric or counter updates, so
+// it is safe to run from parallel workers over read-only trie state.
+func (t *PIMTrie) checkHit(rh rawHit) *hitRec {
+	depth := rh.edge.From.Depth + rh.off
+	if rh.info.Len != depth {
 		return nil
 	}
 	win := suffixWindow(rh.edge, rh.off, bitstr.WordBits)
 	if !bitstr.Equal(win, rh.info.SLast) {
-		t.falseHits++
 		return nil
 	}
 	return &hitRec{pos: onEdge(rh.edge, rh.off), depth: depth, val: rh.val, info: rh.info}
+}
+
+// verifyHits applies checkHit to every raw hit in parallel, preserving
+// input order in the output. Accounting matches the serial loop exactly
+// — 2 CPUWork units per hit and one falseHits increment per rejection —
+// but is folded in once on the host goroutine after the workers join.
+func (t *PIMTrie) verifyHits(raw []rawHit) []hitRec {
+	n := len(raw)
+	if n == 0 {
+		return nil
+	}
+	recs := make([]*hitRec, n)
+	parallel.ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			recs[i] = t.checkHit(raw[i])
+		}
+	})
+	t.sys.CPUWork(2 * n)
+	out := make([]hitRec, 0, n)
+	for _, h := range recs {
+		if h == nil {
+			t.falseHits++
+			continue
+		}
+		out = append(out, *h)
+	}
+	return out
 }
 
 // suffixWindow reconstructs the last min(depth, w) bits of the string

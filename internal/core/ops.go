@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/parallel"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -93,19 +94,35 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 		rel   bitstr.String
 		value uint64
 	}
+	// Per-key remainder extraction (the allocating part) fans out; the
+	// map grouping stays serial so per-block lists keep ascending key
+	// order.
+	pcs := make([]*piece, len(out.qt.Keys))
+	rels := make([]bitstr.String, len(out.qt.Keys))
+	parallel.For(len(out.qt.Keys), func(u int) {
+		pc := out.anchorPiece[out.qt.Nodes[u]]
+		pcs[u] = pc
+		if pc != nil {
+			rels[u] = out.qt.Keys[u].Suffix(pc.hit.depth)
+		}
+	})
 	groups := map[pim.Addr][]ins{}
 	words := map[pim.Addr]int{}
-	for u, k := range out.qt.Keys {
-		pc := out.anchorPiece[out.qt.Nodes[u]]
-		if pc == nil {
+	var order []pim.Addr // first-seen block order: keeps task emission
+	// (and the RandModule draws any follow-up split consumes)
+	// deterministic for a fixed seed.
+	for u := range out.qt.Keys {
+		if pcs[u] == nil {
 			panic("core: key without an anchor piece")
 		}
-		blk := pc.hit.info.Block
-		rel := k.Suffix(pc.hit.depth)
-		groups[blk] = append(groups[blk], ins{rel: rel, value: val[u]})
+		blk := pcs[u].hit.info.Block
+		if _, seen := groups[blk]; !seen {
+			order = append(order, blk)
+		}
+		groups[blk] = append(groups[blk], ins{rel: rels[u], value: val[u]})
 		// Shared prefixes below the anchor travel once in the real
 		// protocol; charge the unmatched remainder, which dominates.
-		words[blk] += rel.Words() + 2
+		words[blk] += rels[u].Words() + 2
 	}
 	type insReply struct {
 		newKeys   int
@@ -115,8 +132,8 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 	}
 	tasks := make([]pim.Task, 0, len(groups))
 	addrs := make([]pim.Addr, 0, len(groups))
-	for blk, g := range groups {
-		blk, g := blk, g
+	for _, blk := range order {
+		blk, g := blk, groups[blk]
 		tasks = append(tasks, pim.Task{
 			Module:    blk.Module,
 			SendWords: words[blk],
@@ -170,20 +187,35 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	groups := map[pim.Addr][]del{}
 	words := map[pim.Addr]int{}
 	present := make([]bool, len(out.qt.Keys))
-	for u, k := range out.qt.Keys {
+	// Presence checks and remainder extraction fan out; grouping stays
+	// serial (same ascending-key order per block as the serial loop).
+	pcs := make([]*piece, len(out.qt.Keys))
+	rels := make([]bitstr.String, len(out.qt.Keys))
+	parallel.For(len(out.qt.Keys), func(u int) {
 		n := out.qt.Nodes[u]
 		if out.reach[n] != n.Depth {
-			continue
+			return
 		}
 		ex, ok := out.exact[n]
 		if !ok || !ex.hasValue {
-			continue
+			return
 		}
 		present[u] = true
 		pc := out.anchorPiece[n]
-		blk := pc.hit.info.Block
-		groups[blk] = append(groups[blk], del{rel: k.Suffix(pc.hit.depth), u: u})
-		words[blk] += k.Suffix(pc.hit.depth).Words() + 2
+		pcs[u] = pc
+		rels[u] = out.qt.Keys[u].Suffix(pc.hit.depth)
+	})
+	var order []pim.Addr // first-seen order, as in Insert
+	for u := range out.qt.Keys {
+		if !present[u] {
+			continue
+		}
+		blk := pcs[u].hit.info.Block
+		if _, seen := groups[blk]; !seen {
+			order = append(order, blk)
+		}
+		groups[blk] = append(groups[blk], del{rel: rels[u], u: u})
+		words[blk] += rels[u].Words() + 2
 	}
 	type delReply struct {
 		removed  int
@@ -194,8 +226,8 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	}
 	tasks := make([]pim.Task, 0, len(groups))
 	addrs := make([]pim.Addr, 0, len(groups))
-	for blk, g := range groups {
-		blk, g := blk, g
+	for _, blk := range order {
+		blk, g := blk, groups[blk]
 		tasks = append(tasks, pim.Task{
 			Module:    blk.Module,
 			SendWords: words[blk],
@@ -294,8 +326,8 @@ func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
 	}
 	for len(level) > 0 {
 		tasks := make([]pim.Task, len(level))
-		for i, f := range level {
-			f := f
+		parallel.For(len(level), func(i int) {
+			f := level[i]
 			tasks[i] = pim.Task{
 				Module:    f.addr.Module,
 				SendWords: f.locus.Words() + 2,
@@ -322,7 +354,7 @@ func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
 					return pim.Resp{RecvWords: w + len(kids)*3 + 1, Value: subtreeReply{kvs: kvs, kids: kids}}
 				},
 			}
-		}
+		})
 		var next []fetch
 		for i, r := range t.sys.Round(tasks) {
 			rep := r.Value.(subtreeReply)
@@ -340,9 +372,8 @@ func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
 		level = next
 	}
 	endGather()
-	for i := range results {
-		sortKVs(results[i])
-	}
+	// Each query's result sorts independently.
+	parallel.For(len(results), func(i int) { sortKVs(results[i]) })
 	return results
 }
 

@@ -3,25 +3,35 @@
 // parallel reduction, and parallel prefix sums (scan, [12]). They are
 // realized with goroutines over runtime.NumCPU workers; grain sizes keep
 // scheduling overhead negligible for the batch sizes the index uses.
+//
+// The worker-count cap is stored atomically, so SetMaxProcs is safe to
+// call while other goroutines (concurrent benchmarks, parallel tests)
+// are inside For/Reduce/Scan; each call sites reads the cap once at
+// entry.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxProcs caps worker fan-out; overridable in tests via SetMaxProcs.
-var maxProcs = runtime.NumCPU()
+// maxProcsV caps worker fan-out; overridable via SetMaxProcs. Read with
+// maxProcs(), never directly.
+var maxProcsV atomic.Int64
+
+func init() { maxProcsV.Store(int64(runtime.NumCPU())) }
+
+func maxProcs() int { return int(maxProcsV.Load()) }
 
 // SetMaxProcs overrides the worker count (0 restores the default) and
-// returns the previous value. Only tests should call this.
+// returns the previous value. It is safe for concurrent use; primitives
+// already executing finish with the cap they observed at entry.
 func SetMaxProcs(n int) int {
-	old := maxProcs
 	if n <= 0 {
 		n = runtime.NumCPU()
 	}
-	maxProcs = n
-	return old
+	return int(maxProcsV.Swap(int64(n)))
 }
 
 // minGrain is the smallest chunk worth shipping to another goroutine.
@@ -43,7 +53,7 @@ func ForChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxProcs
+	workers := maxProcs()
 	if workers > (n+minGrain-1)/minGrain {
 		workers = (n + minGrain - 1) / minGrain
 	}
@@ -86,7 +96,7 @@ func Reduce[T any](xs []T, id T, op func(a, b T) T) T {
 	if n == 0 {
 		return id
 	}
-	workers := maxProcs
+	workers := maxProcs()
 	if workers > (n+minGrain-1)/minGrain {
 		workers = (n + minGrain - 1) / minGrain
 	}
@@ -159,7 +169,7 @@ func Scan[T any](xs []T, id T, op func(a, b T) T) (out []T, total T) {
 	if n == 0 {
 		return out, id
 	}
-	workers := maxProcs
+	workers := maxProcs()
 	if workers > (n+minGrain-1)/minGrain {
 		workers = (n + minGrain - 1) / minGrain
 	}

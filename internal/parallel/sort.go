@@ -12,7 +12,7 @@ func MergeSort[T any](xs []T, less func(a, b T) bool) {
 		return
 	}
 	buf := make([]T, len(xs))
-	mergeSortRec(xs, buf, less, maxProcs)
+	mergeSortRec(xs, buf, less, maxProcs())
 }
 
 // sortGrain is the size below which sort.SliceStable is faster than

@@ -18,15 +18,23 @@
 //   - CPU work      — host-side accounted operations,
 //   - space         — words of module memory in use.
 //
-// Module programs run as real Go closures on per-module goroutines, so
-// wall-clock also benefits from module parallelism, but all reproduction
-// claims are made on the model metrics above.
+// Module programs run as real Go closures on a persistent pool of
+// worker goroutines (one job per busy module per round), so wall-clock
+// also benefits from module parallelism, but all reproduction claims
+// are made on the model metrics above. Model metrics are deterministic
+// for a fixed seed regardless of the parallelism level: module programs
+// are data-race-free by contract, and all accounting happens on the
+// host after the round barrier.
 package pim
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+
+	"github.com/pimlab/pimtrie/internal/parallel"
 )
 
 // Addr names an object living in some module's memory: the (PIM module
@@ -321,12 +329,105 @@ type System struct {
 	rng     *rand.Rand
 	rngMu   sync.Mutex
 	metrics Metrics
-	maxPar  int // cap on concurrently running module goroutines
+	maxPar  int // cap on concurrently executing module programs
+
+	// Persistent round executor (started lazily by Round) and pooled
+	// per-round scratch. perModule buckets task indices by module and is
+	// cleared — not reallocated — between rounds; touched lists the
+	// modules bucketed this round so clearing is O(busy), never O(P).
+	exec      *executor
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	perModule [][]int
+	touched   []int
+	sendBy    []int64 // per-busy-module send words, accounting scratch
+	recvBy    []int64 // per-busy-module recv words
+	wrkBy     []int64 // per-busy-module accounted work
 
 	trace   []RoundTrace
 	tracing bool
 
 	recorder Recorder
+}
+
+// roundJob is one module's share of a round: the executor runs the
+// module's tasks sequentially (tasks on one module never run
+// concurrently) and signals the round barrier.
+type roundJob struct {
+	mod   *Module
+	idxs  []int
+	tasks []Task
+	resps []Resp
+	wg    *sync.WaitGroup
+}
+
+// executor is a pool of persistent worker goroutines fed one roundJob
+// per busy module per round. It replaces the per-round goroutine
+// spawning (and the per-round semaphore channel) the simulator used to
+// pay on every BSP superstep: workers are started once per System and
+// reused for every subsequent round.
+type executor struct {
+	jobs chan roundJob
+}
+
+func newExecutor(workers int) *executor {
+	e := &executor{jobs: make(chan roundJob, 4*workers)}
+	for i := 0; i < workers; i++ {
+		go e.run()
+	}
+	return e
+}
+
+func (e *executor) run() {
+	for j := range e.jobs {
+		runModuleTasks(j.mod, j.idxs, j.tasks, j.resps)
+		j.wg.Done()
+	}
+}
+
+func runModuleTasks(mod *Module, idxs []int, tasks []Task, resps []Resp) {
+	for _, ti := range idxs {
+		if tasks[ti].Run != nil {
+			resps[ti] = tasks[ti].Run(mod)
+		}
+	}
+}
+
+// workerCount is the effective module-program parallelism: never more
+// workers than modules, never more than the maxPar cap.
+func (s *System) workerCount() int {
+	w := s.maxPar
+	if w > s.p {
+		w = s.p
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ensureExec starts the persistent worker pool on first use. A
+// finalizer backstops Close so systems that are simply dropped (the
+// common pattern in tests and experiment sweeps) do not leak workers.
+func (s *System) ensureExec() *executor {
+	if s.exec == nil {
+		s.exec = newExecutor(s.workerCount())
+		runtime.SetFinalizer(s, (*System).Close)
+	}
+	return s.exec
+}
+
+// Close stops the persistent worker goroutines, if any were started.
+// Calling Close is optional — a finalizer performs the same shutdown
+// when the System is garbage collected — and idempotent. The System
+// must not be executing a Round when Close is called.
+func (s *System) Close() {
+	s.closeOnce.Do(func() {
+		if s.exec != nil {
+			close(s.exec.jobs)
+		}
+		runtime.SetFinalizer(s, nil)
+	})
 }
 
 // systemHook, set via SetSystemHook, is invoked synchronously at the end
@@ -356,6 +457,10 @@ func WithSeed(seed int64) Option {
 
 // WithMaxParallelism caps how many module programs run concurrently;
 // useful to keep tests deterministic in scheduling-sensitive scenarios.
+// With n == 1 the executor runs every module program inline on the host
+// goroutine in dispatch order; model metrics are identical either way
+// (module programs are data-race-free by the Round contract, so every
+// schedule observes the same state).
 func WithMaxParallelism(n int) Option {
 	return func(s *System) {
 		if n > 0 {
@@ -364,7 +469,10 @@ func WithMaxParallelism(n int) Option {
 	}
 }
 
-// NewSystem creates a system with p PIM modules.
+// NewSystem creates a system with p PIM modules. Module-program
+// parallelism defaults to the machine's CPU count: simulated module
+// programs are pure compute, so workers beyond GOMAXPROCS only add
+// scheduling overhead (override with WithMaxParallelism).
 func NewSystem(p int, opts ...Option) *System {
 	if p <= 0 {
 		panic("pim: need at least one module")
@@ -372,7 +480,7 @@ func NewSystem(p int, opts ...Option) *System {
 	s := &System{
 		p:      p,
 		rng:    rand.New(rand.NewSource(1)),
-		maxPar: 64,
+		maxPar: runtime.GOMAXPROCS(0),
 	}
 	s.modules = make([]*Module, p)
 	for i := range s.modules {
@@ -380,6 +488,9 @@ func NewSystem(p int, opts ...Option) *System {
 	}
 	s.metrics.PerModuleIO = make([]int64, p)
 	s.metrics.PerModuleWrk = make([]int64, p)
+	for _, o := range opts {
+		o(s)
+	}
 	systemHookMu.Lock()
 	hook := systemHook
 	systemHookMu.Unlock()
@@ -454,11 +565,15 @@ func (s *System) Module(i int) *Module { return s.modules[i] }
 // programs run (in parallel across modules, sequentially within one
 // module), and replies are read back. It returns the replies in task
 // order and updates every cost counter.
+//
+// Execution goes through the System's persistent worker pool — one
+// roundJob per busy module — except when the effective parallelism is 1
+// or only one module is busy, in which case the programs run inline on
+// the host goroutine (same observable behavior, no scheduling cost).
 func (s *System) Round(tasks []Task) []Resp {
-	resps := make([]Resp, len(tasks))
 	if len(tasks) == 0 {
 		// An empty round still synchronizes; count it to keep algorithms
-		// honest about their round structure.
+		// honest about their round structure. It touches no scratch.
 		s.metrics.Rounds++
 		if s.tracing {
 			s.trace = append(s.trace, RoundTrace{})
@@ -466,78 +581,104 @@ func (s *System) Round(tasks []Task) []Resp {
 		if s.recorder != nil {
 			s.recorder.RecordRound(RoundTrace{})
 		}
-		return resps
+		return nil
 	}
-	perModule := make([][]int, s.p)
+	resps := make([]Resp, len(tasks))
+
+	// Bucket task indices by module into the pooled scratch.
+	if s.perModule == nil {
+		s.perModule = make([][]int, s.p)
+	}
+	touched := s.touched[:0]
 	for i, t := range tasks {
 		if t.Module < 0 || t.Module >= s.p {
 			panic(fmt.Sprintf("pim: task %d targets invalid module %d", i, t.Module))
 		}
-		perModule[t.Module] = append(perModule[t.Module], i)
-	}
-
-	sem := make(chan struct{}, s.maxPar)
-	var wg sync.WaitGroup
-	for mi, idxs := range perModule {
-		if len(idxs) == 0 {
-			continue
+		if len(s.perModule[t.Module]) == 0 {
+			touched = append(touched, t.Module)
 		}
-		wg.Add(1)
-		go func(mod *Module, idxs []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			for _, ti := range idxs {
-				if tasks[ti].Run != nil {
-					resps[ti] = tasks[ti].Run(mod)
-				}
-			}
-		}(s.modules[mi], idxs)
+		s.perModule[t.Module] = append(s.perModule[t.Module], i)
 	}
-	wg.Wait()
+	s.touched = touched
 
-	// Accounting (host side, after the barrier).
-	s.metrics.Rounds++
+	// Execute: inline when nothing can run concurrently, else dispatch
+	// one job per busy module to the persistent pool.
+	if len(touched) == 1 || s.workerCount() == 1 {
+		for _, mi := range touched {
+			runModuleTasks(s.modules[mi], s.perModule[mi], tasks, resps)
+		}
+	} else {
+		e := s.ensureExec()
+		s.wg.Add(len(touched))
+		for _, mi := range touched {
+			e.jobs <- roundJob{mod: s.modules[mi], idxs: s.perModule[mi], tasks: tasks, resps: resps, wg: &s.wg}
+		}
+		s.wg.Wait()
+	}
+
+	// Accounting (host side, after the barrier). Per-busy-module sums
+	// run as a chunked parallel reduction — disjoint writes into pooled
+	// scratch indexed by busy-module rank — followed by a serial O(busy)
+	// fold; for small rounds parallel.ForChunked degrades to the plain
+	// loop. touched is sorted so per-module trace vectors keep their
+	// module-order layout.
+	sort.Ints(s.touched)
+	touched = s.touched
+	nb := len(touched)
+	if cap(s.sendBy) < nb {
+		s.sendBy = make([]int64, nb)
+		s.recvBy = make([]int64, nb)
+		s.wrkBy = make([]int64, nb)
+	}
+	sendBy, recvBy, wrkBy := s.sendBy[:nb], s.recvBy[:nb], s.wrkBy[:nb]
 	observing := s.tracing || s.recorder != nil
-	var roundMaxIO, roundMaxWork, sendW, recvW, workW int64
-	busy := 0
 	var modID []int
 	var modIO, modWork []int64
-	for mi, idxs := range perModule {
-		if len(idxs) == 0 {
-			continue
+	if observing {
+		modID = make([]int, nb)
+		modIO = make([]int64, nb)
+		modWork = make([]int64, nb)
+	}
+	parallel.ForChunked(nb, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			mi := touched[k]
+			var sw, rw int64
+			for _, ti := range s.perModule[mi] {
+				sw += int64(tasks[ti].SendWords)
+				rw += int64(resps[ti].RecvWords)
+			}
+			m := s.modules[mi]
+			w := m.work
+			m.work = 0
+			sendBy[k], recvBy[k], wrkBy[k] = sw, rw, w
+			s.metrics.PerModuleIO[mi] += sw + rw
+			s.metrics.PerModuleWrk[mi] += w
+			if observing {
+				modID[k], modIO[k], modWork[k] = mi, sw+rw, w
+			}
 		}
-		busy++
-		var io int64
-		for _, ti := range idxs {
-			io += int64(tasks[ti].SendWords) + int64(resps[ti].RecvWords)
-			sendW += int64(tasks[ti].SendWords)
-			recvW += int64(resps[ti].RecvWords)
-		}
-		w := s.modules[mi].work
-		s.modules[mi].work = 0
-		s.metrics.PerModuleIO[mi] += io
-		s.metrics.PerModuleWrk[mi] += w
+	})
+	s.metrics.Rounds++
+	var roundMaxIO, roundMaxWork, sendW, recvW, workW int64
+	for k := 0; k < nb; k++ {
+		io, w := sendBy[k]+recvBy[k], wrkBy[k]
+		sendW += sendBy[k]
+		recvW += recvBy[k]
+		workW += w
 		s.metrics.IOWords += io
 		s.metrics.PIMWork += w
-		workW += w
 		if io > roundMaxIO {
 			roundMaxIO = io
 		}
 		if w > roundMaxWork {
 			roundMaxWork = w
 		}
-		if observing {
-			modID = append(modID, mi)
-			modIO = append(modIO, io)
-			modWork = append(modWork, w)
-		}
 	}
 	s.metrics.IOTime += roundMaxIO
 	s.metrics.PIMTime += roundMaxWork
 	if observing {
 		tr := RoundTrace{
-			Tasks: len(tasks), Modules: busy,
+			Tasks: len(tasks), Modules: nb,
 			SendWords: sendW, RecvWords: recvW,
 			MaxIO: roundMaxIO, MaxWork: roundMaxWork, Work: workW,
 			ModID: modID, ModIO: modIO, ModWork: modWork,
@@ -548,6 +689,10 @@ func (s *System) Round(tasks []Task) []Resp {
 		if s.recorder != nil {
 			s.recorder.RecordRound(tr)
 		}
+	}
+	// Reset the bucketing scratch for the next round (O(busy)).
+	for _, mi := range touched {
+		s.perModule[mi] = s.perModule[mi][:0]
 	}
 	return resps
 }
