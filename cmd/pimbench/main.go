@@ -11,12 +11,15 @@
 //	pimbench -exp E2 -trace t.jsonl  # phase-attributed trace (pimtrie-trace reads it)
 //	pimbench -json results.json      # machine-readable tables
 //	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
+//	pimbench -bench - -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -103,8 +106,41 @@ func main() {
 		trace = flag.String("trace", "", "write a phase-attributed JSONL trace of every system to this path")
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
+		cpuP  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (analyze with go tool pprof)")
+		memP  = flag.String("memprofile", "", "write an allocation profile of the run to this path")
 	)
 	flag.Parse()
+
+	if *cpuP != "" {
+		f, err := os.Create(*cpuP)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memP != "" {
+		defer func() {
+			f, err := os.Create(*memP)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pimbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // flush the final allocation state before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "pimbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}()
+	}
 
 	if *bench != "" {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}

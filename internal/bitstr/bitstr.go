@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 )
 
 // WordBits is the machine word size w used throughout the PIM-trie
@@ -127,17 +128,19 @@ func FromUint64(v uint64, n int) String {
 }
 
 // Uint64 decodes the first min(n,64) bits as a big-endian integer, the
-// inverse of FromUint64.
+// inverse of FromUint64. Bit j (stored at word position j) contributes
+// 2^(n-1-j), so reversing the word aligns bit j with 2^(63-j) and a
+// single shift rescales to the n-bit value.
 func (s String) Uint64() uint64 {
 	n := s.n
-	if n > 64 {
-		n = 64
+	if n == 0 {
+		return 0
 	}
-	var v uint64
-	for j := 0; j < n; j++ {
-		v = v<<1 | uint64(s.BitAt(j))
+	w := s.words[0]
+	if n >= 64 {
+		return bits.Reverse64(w)
 	}
-	return v
+	return bits.Reverse64(w&(1<<uint(n)-1)) >> uint(64-n)
 }
 
 // Len returns the length in bits.
@@ -196,6 +199,70 @@ func (s String) Slice(from, to int) String {
 	}
 	clearTail(w, n)
 	return String{words: w, n: n}
+}
+
+// RangeWord returns bits [from, to) — at most 64 of them — packed into a
+// uint64 at positions 0..to-from-1 (the storage convention), with higher
+// positions zero. It is the word-granularity fetch underlying the
+// allocation-free range kernels (LCPRange, hashing.HashRange): a Slice
+// of ≤ w bits without materializing a String.
+func (s String) RangeWord(from, to int) uint64 {
+	n := to - from
+	if n == 0 {
+		return 0
+	}
+	if from < 0 || to > s.n || n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstr: RangeWord(%d,%d) out of range [0,%d]", from, to, s.n))
+	}
+	base := from >> 6
+	shift := uint(from & 63)
+	w := s.words[base] >> shift
+	if shift != 0 && base+1 < len(s.words) {
+		w |= s.words[base+1] << (64 - shift)
+	}
+	if n < 64 {
+		w &= 1<<uint(n) - 1
+	}
+	return w
+}
+
+// LCPRange returns the length of the longest common prefix of bits
+// [afrom, afrom+n) of a and [bfrom, bfrom+n) of b, comparing 64 bits at
+// a time without allocating — the range twin of LCP.
+func LCPRange(a String, afrom int, b String, bfrom, n int) int {
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		if x := a.RangeWord(afrom+i, afrom+i+64) ^ b.RangeWord(bfrom+i, bfrom+i+64); x != 0 {
+			return i + bits.TrailingZeros64(x)
+		}
+	}
+	if i < n {
+		if x := a.RangeWord(afrom+i, afrom+n) ^ b.RangeWord(bfrom+i, bfrom+n); x != 0 {
+			return i + bits.TrailingZeros64(x)
+		}
+	}
+	return n
+}
+
+// EqualRange reports whether bits [afrom, afrom+n) of a equal bits
+// [bfrom, bfrom+n) of b.
+func EqualRange(a String, afrom int, b String, bfrom, n int) bool {
+	return LCPRange(a, afrom, b, bfrom, n) == n
+}
+
+// FromWord builds a string of n ≤ 64 bits from a packed word (position
+// i of w is bit i, the storage convention) — the inverse of RangeWord.
+func FromWord(w uint64, n int) String {
+	if n < 0 || n > 64 {
+		panic("bitstr: FromWord length out of range")
+	}
+	if n == 0 {
+		return Empty
+	}
+	if n < 64 {
+		w &= 1<<uint(n) - 1
+	}
+	return String{words: []uint64{w}, n: n}
 }
 
 // Prefix returns the first n bits.
@@ -359,93 +426,131 @@ func CommonPrefix(s, t String) String { return s.Prefix(LCP(s, t)) }
 
 // Sort sorts a slice of bit strings in Compare order using a most
 // significant digit radix sort on 64-bit chunks, falling back to
-// insertion sort for tiny buckets. It is the sequential core used by the
-// parallel string sort in package querytrie.
+// insertion sort for tiny buckets. ArgSort shares the same core for
+// index permutations, with optional parallelism.
 func Sort(ss []String) {
-	msdSort(ss, 0)
+	var wg sync.WaitGroup
+	msdSort(identity{}, ss, 0, 1, &wg)
+	wg.Wait()
+}
+
+// ArgSort permutes idx so that keys[idx[0]], keys[idx[1]], ... ascend in
+// Compare order, running the radix core over the packed words directly —
+// no per-comparison closure. Up to procs goroutines sort disjoint
+// sub-ranges; the result is the exact permutation Sort would induce,
+// independent of procs and scheduling (partitions are computed
+// sequentially before any fork, only disjoint sub-slices run
+// concurrently). Equal keys keep no particular relative order.
+func ArgSort(keys []String, idx []int, procs int) {
+	if procs < 1 {
+		procs = 1
+	}
+	var wg sync.WaitGroup
+	msdSort(argKeys(keys), idx, 0, procs, &wg)
+	wg.Wait()
 }
 
 const insertionCutoff = 12
 
-func msdSort(ss []String, wordIdx int) {
-	for len(ss) > insertionCutoff {
-		// Partition by whether the string has run out of words, then by
-		// the value of word wordIdx. Strings that end inside this word
-		// need bit-level care, handled by comparing padded keys: a string
-		// shorter than (wordIdx+1)*64 bits sorts by its remaining bits,
-		// and among equal prefixes shorter-first.
-		// For simplicity and worst-case soundness we use a 8-bit pass
-		// over the word via counting sort on a derived key.
-		key := func(s String) uint64 { return chunkKey(s, wordIdx) }
-		// 3-way quicksort on the 65-bit-ish derived key (exhausted flag +
-		// bit-reversed chunk) keeps it in-place and allocation free.
-		lo, hi := 0, len(ss)-1
-		if hi <= 0 {
-			return
-		}
-		pivot := key(ss[(lo+hi)/2])
-		lt, gt, i := lo, hi, lo
+// sortForkGrain is the smallest sub-slice worth handing to a goroutine.
+const sortForkGrain = 2048
+
+// strOf abstracts "the bit string of element e": the identity for Sort,
+// a slice lookup for ArgSort. A zero-size receiver keeps the core
+// monomorphic and call-free after inlining.
+type strOf[E any] interface{ at(E) String }
+
+type identity struct{}
+
+func (identity) at(s String) String { return s }
+
+type argKeys []String
+
+func (k argKeys) at(i int) String { return k[i] }
+
+// msdSort 3-way-quicksorts es by the (live, reversed-word) chunk at
+// wordIdx: the left and right bands stay at this word, the equal band
+// advances to the next word (all its strings share this chunk) or — when
+// the shared chunk is exhausted — finishes with comparison sort, since
+// those strings end before this word and differ only in earlier length.
+func msdSort[E any, G strOf[E]](g G, es []E, wordIdx, procs int, wg *sync.WaitGroup) {
+	for len(es) > insertionCutoff {
+		pw, plive := chunkOf(g.at(es[(len(es)-1)/2]), wordIdx)
+		lt, gt, i := 0, len(es)-1, 0
 		for i <= gt {
-			k := key(ss[i])
+			kw, klive := chunkOf(g.at(es[i]), wordIdx)
 			switch {
-			case k < pivot:
-				ss[lt], ss[i] = ss[i], ss[lt]
+			case chunkLess(kw, klive, pw, plive):
+				es[lt], es[i] = es[i], es[lt]
 				lt++
 				i++
-			case k > pivot:
-				ss[gt], ss[i] = ss[i], ss[gt]
+			case chunkLess(pw, plive, kw, klive):
+				es[gt], es[i] = es[i], es[gt]
 				gt--
 			default:
 				i++
 			}
 		}
-		msdSort(ss[:lt], wordIdx)
-		// The middle band shares chunk wordIdx; recurse on the next word
-		// unless the key marks exhaustion (all equal and finished).
-		if pivot != exhaustedKey {
-			msdSort(ss[lt:gt+1], wordIdx+1)
+		mid, left := es[lt:gt+1], es[:lt]
+		es = es[gt+1:]
+		if plive {
+			procs = forkSort(g, mid, wordIdx+1, procs, wg)
 		} else {
-			sortEqualExhausted(ss[lt : gt+1])
+			insertionSort(g, mid)
 		}
-		ss = ss[gt+1:]
+		procs = forkSort(g, left, wordIdx, procs, wg)
 	}
-	insertionSort(ss)
+	insertionSort(g, es)
 }
 
-// exhaustedKey marks strings that end strictly before word wordIdx.
-const exhaustedKey = uint64(0)
-
-// chunkKey derives a comparable key for word wordIdx of s.
-// Bit-reversing the chunk makes uint64 order agree with lexicographic
-// bit-0-first order; adding 1 (with exhausted = 0) makes shorter-prefix
-// strings sort before extensions. Keys may collide for strings that end
-// inside this word at different positions; the residual is resolved by
-// the final insertion/equal pass via Compare, which is cheap because
-// such bands are narrow in practice.
-func chunkKey(s String, wordIdx int) uint64 {
-	start := wordIdx * 64
-	if s.n <= start {
-		return exhaustedKey
+// forkSort recurses on a disjoint sub-slice, spawning a goroutine with
+// half the procs budget when the slice is big enough, and returns the
+// budget kept by the caller.
+func forkSort[E any, G strOf[E]](g G, es []E, wordIdx, procs int, wg *sync.WaitGroup) int {
+	if procs > 1 && len(es) >= sortForkGrain {
+		half := procs / 2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msdSort(g, es, wordIdx, half, wg)
+		}()
+		return procs - half
 	}
-	w := bits.Reverse64(s.words[wordIdx])
-	// Saturate: strings ending inside the word still compare mostly right;
-	// ties broken later.
-	if w == ^uint64(0) {
-		w--
-	}
-	return w + 1
+	msdSort(g, es, wordIdx, 1, wg)
+	return procs
 }
 
-func sortEqualExhausted(ss []String) {
-	// All strings here end before the current word and share all earlier
-	// chunks; finish with comparison sort (they are near-identical).
-	insertionSort(ss)
+// chunkOf returns word wordIdx of s bit-reversed — so uint64 order
+// agrees with lexicographic bit-0-first order — plus a live flag;
+// live == false means s ends at or before this word's start. The flag
+// is carried OUTSIDE the 64-bit chunk: an earlier encoding stole a
+// value by saturating an all-ones chunk, which collided with the
+// genuinely distinct chunk 0xFF..FE and let the equal band recurse past
+// the difference (TestSortSaturationRegression).
+func chunkOf(s String, wordIdx int) (w uint64, live bool) {
+	if s.n <= wordIdx*64 {
+		return 0, false
+	}
+	return bits.Reverse64(s.words[wordIdx]), true
 }
 
-func insertionSort(ss []String) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && Compare(ss[j], ss[j-1]) < 0; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
+// chunkLess orders chunks: exhausted before live — a string that ends
+// earlier yet matched every prior chunk is a prefix of the live ones,
+// and prefixes sort first — then by reversed word value. Strings ending
+// inside the word compare by their zero-padded chunk; on a tie the
+// shorter string is a genuine prefix and wins at the next level's
+// exhaustion check.
+func chunkLess(aw uint64, alive bool, bw uint64, blive bool) bool {
+	if alive != blive {
+		return blive
+	}
+	return aw < bw
+}
+
+func insertionSort[E any, G strOf[E]](g G, es []E) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && Compare(g.at(es[j]), g.at(es[j-1])) < 0; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package core
+
+// Allocation regression tests for the batch host path. PR 3's kernel
+// layer pools the per-batch scratch on the PIMTrie, so a steady-state
+// LCP batch should allocate proportionally to the batch itself (query
+// trie nodes, result slices, per-piece task closures) — a few dozen
+// objects per key — never to the phases it runs. The bound here is
+// deliberately loose (~3× observed) so it only trips on a structural
+// regression, e.g. un-pooling a map or reintroducing per-bit Slice
+// copies, not on incidental churn.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+func TestLCPBatchAllocsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation calibration is not meaningful under -short")
+	}
+	r := rand.New(rand.NewSource(17))
+	pt, _ := newTestTrie(8, Config{})
+	const nKeys = 4096
+	keys := make([]bitstr.String, nKeys)
+	vals := make([]uint64, nKeys)
+	for i := range keys {
+		keys[i] = randomKey(r, 160)
+		vals[i] = uint64(i)
+	}
+	pt.Build(keys, vals)
+
+	const batch = 256
+	queries := make([]bitstr.String, batch)
+	for i := range queries {
+		k := keys[r.Intn(nKeys)]
+		cut := r.Intn(k.Len() + 1)
+		queries[i] = k.Prefix(cut)
+	}
+	// Warm the pooled scratch: the first batches grow arenas to their
+	// steady-state size.
+	for i := 0; i < 3; i++ {
+		pt.LCP(queries)
+	}
+	perRun := testing.AllocsPerRun(5, func() {
+		pt.LCP(queries)
+	})
+	perKey := perRun / batch
+	t.Logf("LCP batch: %.0f allocs (%.1f per key)", perRun, perKey)
+	if perKey > 40 {
+		t.Fatalf("LCP host path allocates %.0f objects per batch (%.1f per key); pooled scratch bound is 40 per key", perRun, perKey)
+	}
+}

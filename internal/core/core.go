@@ -168,6 +168,34 @@ type PIMTrie struct {
 	rehashes  int
 	redos     int
 	falseHits int
+
+	// Per-batch scratch, reused across batches so the steady-state host
+	// path allocates proportionally to its results, not to the phases it
+	// runs. PIMTrie is not safe for concurrent use (batches are the unit
+	// of parallelism), so plain fields suffice; everything here is dead
+	// between operations.
+	prepScratch prep
+	rawHitBuf   []rawHit
+	verifyRecs  []hitRec
+	verifyOK    []bool
+	dedupeSeen  map[qposKey]bool
+	insGroups   map[pim.Addr][]insOp
+	delGroups   map[pim.Addr][]delOp
+	groupWords  map[pim.Addr]int
+	groupOrder  []pim.Addr
+	pieceBuf    []*piece
+	relBuf      []bitstr.String
+	pieceArena  []*piece
+	pieceUsed   int
+	byEdgeBuf   map[*trie.Edge]int
+	edgeHitBuf  [][]int
+	edgeHitUsed int
+	pieceOfBuf  []*piece
+	piecesBuf   []*piece
+	segArena    [][]segment
+	reachBuf    map[*trie.Node]int
+	exactBuf    map[*trie.Node]exactHit
+	anchorBuf   map[*trie.Node]*piece
 }
 
 // New creates an empty PIM-trie on the given system.

@@ -9,6 +9,8 @@ package core
 // roots and compares edge labels word-at-a-time.
 
 import (
+	"sync"
+
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/trie"
 )
@@ -99,17 +101,42 @@ type matcher struct {
 	block *trie.Trie
 }
 
+// matcherPool and reportPool recycle the per-piece walk state.
+// matchPiece runs concurrently from PIM-module executors and host
+// workers, so a sync.Pool (not a PIMTrie field) is required. The
+// matcher is returned to its pool before matchPiece returns; the report
+// escapes to the caller, which hands it back via recycleReport once
+// merged (callers that never recycle, e.g. tests, just let it be
+// garbage).
+var matcherPool = sync.Pool{New: func() any { return new(matcher) }}
+
+var reportPool = sync.Pool{New: func() any {
+	return &matchReport{reach: map[*trie.Node]int{}, exact: map[*trie.Node]exactHit{}}
+}}
+
+func newReport() *matchReport {
+	rep := reportPool.Get().(*matchReport)
+	clear(rep.reach)
+	clear(rep.exact)
+	rep.words = 0
+	return rep
+}
+
+// recycleReport returns a report to the pool. The caller must hold the
+// only reference — in particular the report's maps must no longer be
+// reachable from a matchOutcome.
+func recycleReport(rep *matchReport) { reportPool.Put(rep) }
+
 // matchPiece walks the query trie from start (whose represented string
 // equals the block root's string) against the block's local trie,
 // halting at the positions in stop. work receives word-granularity
 // operation counts so callers can charge PIM or CPU work.
 func matchPiece(start qpos, stop map[qposKey]bool, block *trie.Trie, work func(int)) *matchReport {
-	m := &matcher{
-		rep:   &matchReport{reach: map[*trie.Node]int{}, exact: map[*trie.Node]exactHit{}},
-		stop:  stop,
-		work:  work,
-		block: block,
-	}
+	m := matcherPool.Get().(*matcher)
+	m.rep = newReport()
+	m.stop = stop
+	m.work = work
+	m.block = block
 	droot := atNode(block.Root())
 	if start.node != nil {
 		m.record(start.node, droot)
@@ -117,7 +144,10 @@ func matchPiece(start qpos, stop map[qposKey]bool, block *trie.Trie, work func(i
 	} else {
 		m.matchEdge(start.edge, start.off, droot)
 	}
-	return m.rep
+	rep := m.rep
+	*m = matcher{}
+	matcherPool.Put(m)
+	return rep
 }
 
 // record notes that query node n matched fully, with the data side at d.
@@ -138,16 +168,16 @@ func (m *matcher) diverge(p qpos, depth int) {
 	} else {
 		n = p.edge.To
 	}
-	var rec func(v *trie.Node)
-	rec = func(v *trie.Node) {
-		m.rep.setReach(v, depth)
-		for b := 0; b < 2; b++ {
-			if e := v.Child[b]; e != nil {
-				rec(e.To)
-			}
+	m.divergeRec(n, depth)
+}
+
+func (m *matcher) divergeRec(v *trie.Node, depth int) {
+	m.rep.setReach(v, depth)
+	for b := 0; b < 2; b++ {
+		if e := v.Child[b]; e != nil {
+			m.divergeRec(e.To, depth)
 		}
 	}
-	rec(n)
 }
 
 // fromNode continues the match below query node qn with the data side
@@ -219,7 +249,7 @@ func (m *matcher) matchEdge(qe *trie.Edge, qoff int, d qpos) {
 		if rem := dl.Len() - d.off; rem < n {
 			n = rem
 		}
-		l := bitstr.LCP(ql.Slice(qoff, qoff+n), dl.Slice(d.off, d.off+n))
+		l := bitstr.LCPRange(ql, qoff, dl, d.off, n)
 		m.work(n/bitstr.WordBits + 1)
 		qoff += l
 		d = onEdge(d.edge, d.off+l)

@@ -18,8 +18,6 @@ package core
 // re-hashes globally and redoes the batch.
 
 import (
-	"sort"
-
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/hashing"
 	"github.com/pimlab/pimtrie/internal/hvm"
@@ -63,19 +61,30 @@ type rawHit struct {
 }
 
 // probeSegments extends hash values bit-by-bit along each segment and
-// probes every position against lookup, reporting all hits. work is
-// charged one unit per probe plus one per 8 bits hashed (the byte-table
-// hashing cost of the unoptimized Algorithm 3; the pivot optimization of
-// §4.4.2 would reduce the probe count to one per w bits).
+// probes every position against lookup, reporting all hits. Every hidden
+// position is probed, so the extension stays per-bit; the label bits are
+// pulled one packed word at a time instead of through per-bit BitAt
+// calls. work is charged one unit per probe plus one per 8 bits hashed
+// (the byte-table hashing cost of the unoptimized Algorithm 3; the pivot
+// optimization of §4.4.2 would reduce the probe count to one per w
+// bits).
 func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaInfo, bool), work func(int)) []rawHit {
 	var hits []rawHit
 	for _, s := range segs {
 		v := s.startVal
 		l := s.edge.Label
-		for i := s.off; i < s.end; i++ {
-			v = h.ExtendBit(v, l.BitAt(i))
-			if info, ok := lookup(h.Out(v)); ok {
-				hits = append(hits, rawHit{edge: s.edge, off: i + 1, val: v, info: info})
+		for i := s.off; i < s.end; {
+			to := (i | (bitstr.WordBits - 1)) + 1
+			if to > s.end {
+				to = s.end
+			}
+			w := l.RangeWord(i, to)
+			for ; i < to; i++ {
+				v = h.ExtendBit(v, byte(w&1))
+				w >>= 1
+				if info, ok := lookup(h.Out(v)); ok {
+					hits = append(hits, rawHit{edge: s.edge, off: i + 1, val: v, info: info})
+				}
 			}
 		}
 		work((s.end-s.off)/8 + (s.end - s.off) + 1)
@@ -92,23 +101,35 @@ func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaI
 // ancestor of (or equal to) that window's max-LCP candidate. Chain nodes
 // are pre-verified against the local bit window, so emitted hits carry
 // the same confidence as per-bit probes.
+//
+// The conceptual window preBits ++ label[off:end] is never materialized:
+// hash values come from the range kernels over the two underlying
+// strings, and window bit ranges are compared or packed piecewise around
+// the boundary at depth d0.
 func probeSegmentsPivot(h *hashing.Hasher, segs []segment, reg *hvm.Region, regAddr pim.Addr, work func(int)) []rawHit {
 	const w = bitstr.WordBits
 	var hits []rawHit
 	for _, s := range segs {
+		s := s
 		d0 := s.edge.From.Depth + s.off
 		dEnd := s.edge.From.Depth + s.end
-		window := s.preBits.Concat(s.edge.Label.Slice(s.off, s.end))
+		l := s.edge.Label
 		base := d0 - s.preBits.Len()
+		// valAt moves the start value to an absolute depth in [base, dEnd]:
+		// depths above d0 extend along the edge label, depths below rewind
+		// across preBits.
 		valAt := func(depth int) hashing.Value {
 			if depth >= d0 {
-				return h.Extend(s.startVal, window.Slice(d0-base, depth-base))
+				return h.ExtendRange(s.startVal, l, s.off, s.off+(depth-d0))
 			}
-			return h.Shrink(s.startVal, window.Slice(depth-base, d0-base))
+			return h.ShrinkRange(s.startVal, s.preBits, depth-base, d0-base)
 		}
-		seen := map[int]bool{}
+		var seen map[int]bool
 		ops := 0
 		emitChain := func(meta *hvm.MetaNode) {
+			if seen == nil {
+				seen = make(map[int]bool, 8)
+			}
 			for n := meta; n != nil; n = n.Parent {
 				if n.Len > dEnd {
 					continue
@@ -122,9 +143,20 @@ func probeSegmentsPivot(h *hashing.Hasher, segs []segment, reg *hvm.Region, regA
 				seen[n.Len] = true
 				ops++
 				// Local pre-verification: the root's S_last must equal the
-				// window bits just above its depth.
+				// window bits just above its depth. The window may straddle
+				// the preBits/label boundary at d0, so compare piecewise.
 				lo := n.Len - n.SLast.Len()
-				if lo < base || !bitstr.Equal(window.Slice(lo-base, n.Len-base), n.SLast) {
+				if lo < base {
+					continue
+				}
+				x := lo
+				if x < d0 {
+					x = d0
+				}
+				if lo < d0 && !bitstr.EqualRange(s.preBits, lo-base, n.SLast, 0, d0-lo) {
+					continue
+				}
+				if !bitstr.EqualRange(l, s.off+(x-d0), n.SLast, x-lo, n.Len-x) {
 					continue
 				}
 				hits = append(hits, rawHit{
@@ -145,7 +177,7 @@ func probeSegmentsPivot(h *hashing.Hasher, segs []segment, reg *hvm.Region, regA
 			if sremEnd > dEnd {
 				sremEnd = dEnd
 			}
-			srem := window.Slice(b-base, sremEnd-base)
+			srem := s.windowBits(b, sremEnd, base, d0)
 			if cand, ok := reg.LookupPivot(h.Out(pv), srem); ok {
 				emitChain(cand)
 			}
@@ -153,6 +185,22 @@ func probeSegmentsPivot(h *hashing.Hasher, segs []segment, reg *hvm.Region, regA
 		work((s.end-s.off)/8 + classes*8 + ops)
 	}
 	return hits
+}
+
+// windowBits packs the absolute-depth window bits [from, to) — at most
+// one word — into a String, drawing from preBits below depth d0 and from
+// the edge label above it.
+func (s *segment) windowBits(from, to, base, d0 int) bitstr.String {
+	switch {
+	case to <= d0:
+		return bitstr.FromWord(s.preBits.RangeWord(from-base, to-base), to-from)
+	case from >= d0:
+		return bitstr.FromWord(s.edge.Label.RangeWord(s.off+(from-d0), s.off+(to-d0)), to-from)
+	default:
+		lo := s.preBits.RangeWord(from-base, d0-base)
+		hi := s.edge.Label.RangeWord(s.off, s.off+(to-d0))
+		return bitstr.FromWord(lo|hi<<uint(d0-from), to-from)
+	}
 }
 
 // regionProbe dispatches on the configured probing strategy.
@@ -169,10 +217,12 @@ func (t *PIMTrie) regionProbe(segs []segment, reg *hvm.Region, regAddr pim.Addr,
 	}, work)
 }
 
-// prep is the host-side preparation of one batch (phase A).
+// prep is the host-side preparation of one batch (phase A). hashes is
+// the node hash of every query-trie compressed node, indexed by the
+// dense preorder Node.Index that NodeHashes assigns.
 type prep struct {
 	qt     *querytrie.QueryTrie
-	hashes map[*trie.Node]hashing.Value
+	hashes []hashing.Value
 }
 
 func (t *PIMTrie) prepare(batch []bitstr.String) *prep {
@@ -180,7 +230,10 @@ func (t *PIMTrie) prepare(batch []bitstr.String) *prep {
 	// Bound edge sizes so chunks and pieces stay shippable.
 	qt.Trie.SplitLongEdges(t.cfg.MasterChunkWords * bitstr.WordBits)
 	t.sys.CPUWork(qt.SizeWords())
-	return &prep{qt: qt, hashes: qt.NodeHashes(t.h)}
+	p := &t.prepScratch
+	p.qt = qt
+	p.hashes = qt.NodeHashes(t.h, p.hashes)
+	return p
 }
 
 // matchOutcome is the merged result of one successful matching pass.
@@ -244,17 +297,18 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 			},
 		}
 	})
-	var masterRaw []rawHit
+	masterRaw := t.rawHitBuf[:0]
 	for _, r := range t.sys.Round(tasks) {
 		masterRaw = append(masterRaw, r.Value.([]rawHit)...)
 	}
+	t.rawHitBuf = masterRaw
 	masterHits := append([]hitRec{rootHit}, t.verifyHits(masterRaw)...)
-	masterHits = dedupeHits(masterHits)
+	masterHits = t.dedupeHits(masterHits)
 	endMaster()
 
 	// ----- Phase C: region matching ------------------------------------
 	endRegion := t.sys.Phase("region-match")
-	masterPieces := decompose(p, masterHits, t.cfg.PivotProbing)
+	masterPieces := t.decompose(p, masterHits, t.cfg.PivotProbing)
 	var cTasks []pim.Task
 	type cKind struct {
 		pc   *piece
@@ -328,11 +382,12 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		cpuByKind[i] = cpu
 	})
 	probeCPU := 0
-	var regionRaw []rawHit
+	regionRaw := t.rawHitBuf[:0]
 	for i := range cKinds {
 		probeCPU += cpuByKind[i]
 		regionRaw = append(regionRaw, hitsByKind[i]...)
 	}
+	t.rawHitBuf = regionRaw
 	if probeCPU > 0 {
 		t.sys.CPUWork(probeCPU)
 	}
@@ -342,13 +397,25 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 	// ----- Phase D: block matching -------------------------------------
 	endBlock := t.sys.Phase("block-match")
 	defer endBlock()
-	allHits := dedupeHits(append(masterHits, regionHits...))
-	pieces := decompose(p, allHits, false)
+	allHits := t.dedupeHits(append(masterHits, regionHits...))
+	pieces := t.decompose(p, allHits, false)
+	// The outcome maps are pooled on the PIMTrie: an outcome is only read
+	// until its operation returns, so clearing them at the next match call
+	// is safe and keeps their buckets warm across batches.
+	if t.reachBuf == nil {
+		t.reachBuf = map[*trie.Node]int{}
+		t.exactBuf = map[*trie.Node]exactHit{}
+		t.anchorBuf = map[*trie.Node]*piece{}
+	} else {
+		clear(t.reachBuf)
+		clear(t.exactBuf)
+		clear(t.anchorBuf)
+	}
 	out := &matchOutcome{
 		qt:          p.qt,
-		reach:       map[*trie.Node]int{},
-		exact:       map[*trie.Node]exactHit{},
-		anchorPiece: map[*trie.Node]*piece{},
+		reach:       t.reachBuf,
+		exact:       t.exactBuf,
+		anchorPiece: t.anchorBuf,
 		pieces:      pieces,
 	}
 	merged := &matchReport{reach: out.reach, exact: out.exact}
@@ -403,6 +470,7 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 		matchCPU += cpuByPiece[i]
 		if rep != nil {
 			merged.merge(rep)
+			recycleReport(rep)
 		}
 	}
 	if matchCPU > 0 {
@@ -417,7 +485,7 @@ func (t *PIMTrie) masterInfo(h uint64) metaInfo {
 	return metaInfo{Hash: h, Len: e.Len, SLast: e.SLast, Block: e.Block, Region: e.Region}
 }
 
-// verifyHit applies §4.4.3's verification to a raw hit: the claimed
+// checkHit applies §4.4.3's verification to a raw hit: the claimed
 // block-root length must equal the position depth and S_last must equal
 // the query bits just above the position. A mismatch means the hash
 // collided on the query side; the hit is a false positive and is dropped
@@ -425,52 +493,50 @@ func (t *PIMTrie) masterInfo(h uint64) metaInfo {
 // never dropped: equal strings verify trivially. Data-side collisions
 // (two block roots sharing a hash) are detected separately at index
 // build time and trigger the global re-hash.
-func (t *PIMTrie) verifyHit(rh rawHit) *hitRec {
-	t.sys.CPUWork(2)
-	h := t.checkHit(rh)
-	if h == nil {
-		t.falseHits++
-	}
-	return h
-}
-
-// checkHit is verifyHit's pure core: no metric or counter updates, so
-// it is safe to run from parallel workers over read-only trie state.
-func (t *PIMTrie) checkHit(rh rawHit) *hitRec {
+//
+// checkHit is pure — no metric or counter updates — so it is safe to
+// run from parallel workers over read-only trie state; verifyHits folds
+// the accounting in afterwards.
+func (t *PIMTrie) checkHit(rh rawHit) (hitRec, bool) {
 	depth := rh.edge.From.Depth + rh.off
 	if rh.info.Len != depth {
-		return nil
+		return hitRec{}, false
 	}
-	win := suffixWindow(rh.edge, rh.off, bitstr.WordBits)
-	if !bitstr.Equal(win, rh.info.SLast) {
-		return nil
+	if !suffixWindowEqual(rh.edge, rh.off, rh.info.SLast) {
+		return hitRec{}, false
 	}
-	return &hitRec{pos: onEdge(rh.edge, rh.off), depth: depth, val: rh.val, info: rh.info}
+	return hitRec{pos: onEdge(rh.edge, rh.off), depth: depth, val: rh.val, info: rh.info}, true
 }
 
 // verifyHits applies checkHit to every raw hit in parallel, preserving
 // input order in the output. Accounting matches the serial loop exactly
 // — 2 CPUWork units per hit and one falseHits increment per rejection —
 // but is folded in once on the host goroutine after the workers join.
+// The per-hit scratch is pooled on the PIMTrie; only the surviving hits
+// are allocated (they outlive the batch phases).
 func (t *PIMTrie) verifyHits(raw []rawHit) []hitRec {
 	n := len(raw)
 	if n == 0 {
 		return nil
 	}
-	recs := make([]*hitRec, n)
+	if cap(t.verifyRecs) < n {
+		t.verifyRecs = make([]hitRec, n)
+		t.verifyOK = make([]bool, n)
+	}
+	recs, ok := t.verifyRecs[:n], t.verifyOK[:n]
 	parallel.ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			recs[i] = t.checkHit(raw[i])
+			recs[i], ok[i] = t.checkHit(raw[i])
 		}
 	})
 	t.sys.CPUWork(2 * n)
 	out := make([]hitRec, 0, n)
-	for _, h := range recs {
-		if h == nil {
+	for i := range recs {
+		if !ok[i] {
 			t.falseHits++
 			continue
 		}
-		out = append(out, *h)
+		out = append(out, recs[i])
 	}
 	return out
 }
@@ -491,10 +557,55 @@ func suffixWindow(e *trie.Edge, off int, w int) bitstr.String {
 	return out
 }
 
+// suffixWindowEqual reports whether want equals the suffix window of the
+// position off bits down edge e — the last min(depth, WordBits) bits of
+// its represented string — without materializing it: the window is
+// matched back-to-front against the edge labels on the root path.
+func suffixWindowEqual(e *trie.Edge, off int, want bitstr.String) bool {
+	depth := e.From.Depth + off
+	win := bitstr.WordBits
+	if depth < win {
+		win = depth
+	}
+	if want.Len() != win {
+		return false
+	}
+	rem := win // unmatched prefix length of want
+	label, end := e.Label, off
+	cur := e.From
+	for {
+		take := end
+		if take > rem {
+			take = rem
+		}
+		if !bitstr.EqualRange(label, end-take, want, rem-take, take) {
+			return false
+		}
+		rem -= take
+		if rem == 0 {
+			return true
+		}
+		pe := cur.ParentEdge
+		if pe == nil {
+			// Unreachable: rem ≤ depth, which the root path covers.
+			return false
+		}
+		label, end = pe.Label, pe.Label.Len()
+		cur = pe.From
+	}
+}
+
 // dedupeHits removes duplicate positions (e.g. a region root seen by
 // both the master table and its own region index), keeping the first.
-func dedupeHits(hits []hitRec) []hitRec {
-	seen := map[qposKey]bool{}
+// The seen set is pooled on the PIMTrie across batches.
+func (t *PIMTrie) dedupeHits(hits []hitRec) []hitRec {
+	seen := t.dedupeSeen
+	if seen == nil {
+		seen = map[qposKey]bool{}
+		t.dedupeSeen = seen
+	} else {
+		clear(seen)
+	}
 	out := hits[:0]
 	for _, h := range hits {
 		k := h.pos.key()
@@ -507,29 +618,40 @@ func dedupeHits(hits []hitRec) []hitRec {
 }
 
 // chunkEdges splits the query trie's edges into chunks of bounded words
-// for the master round.
+// for the master round. Chunk storage is recycled across batches: the
+// chunks only live until the master round's responses are in.
 func (t *PIMTrie) chunkEdges(p *prep) [][]segment {
-	var chunks [][]segment
-	var cur []segment
+	arena := t.segArena
+	n := 0 // completed chunks
+	grab := func() []segment {
+		if n == len(arena) {
+			arena = append(arena, nil)
+		}
+		return arena[n][:0]
+	}
+	cur := grab()
 	words := 0
-	p.qt.Trie.WalkPreorder(func(n *trie.Node) bool {
+	p.qt.Trie.WalkPreorder(func(nd *trie.Node) bool {
 		for b := 0; b < 2; b++ {
-			if e := n.Child[b]; e != nil {
-				s := segment{edge: e, off: 0, end: e.Label.Len(), startVal: p.hashes[n]}
+			if e := nd.Child[b]; e != nil {
+				s := segment{edge: e, off: 0, end: e.Label.Len(), startVal: p.hashes[nd.Index]}
 				cur = append(cur, s)
 				words += s.words()
 				if words >= t.cfg.MasterChunkWords {
-					chunks = append(chunks, cur)
-					cur, words = nil, 0
+					arena[n] = cur
+					n++
+					cur, words = grab(), 0
 				}
 			}
 		}
 		return true
 	})
 	if len(cur) > 0 {
-		chunks = append(chunks, cur)
+		arena[n] = cur
+		n++
 	}
-	return chunks
+	t.segArena = arena
+	return arena[:n]
 }
 
 // piece is the query-trie region below one hit, truncated at deeper
@@ -543,17 +665,69 @@ type piece struct {
 	nodes     []*trie.Node // compressed nodes owned by this piece
 }
 
+// newPiece hands out a piece from the batch-scoped arena, reset for
+// reuse. Arena pieces are recycled at the next decompose call, which is
+// safe because pieces never outlive the operation that produced them:
+// phase C's pieces are dead once region probing ends, and an outcome's
+// pieces are dead once its operation returns.
+func (t *PIMTrie) newPiece(hit hitRec, root qpos) *piece {
+	if t.pieceUsed == len(t.pieceArena) {
+		t.pieceArena = append(t.pieceArena, &piece{childKeys: map[qposKey]bool{}})
+	}
+	pc := t.pieceArena[t.pieceUsed]
+	t.pieceUsed++
+	pc.hit = hit
+	pc.root = root
+	pc.segs = pc.segs[:0]
+	pc.words = 0
+	clear(pc.childKeys)
+	pc.nodes = pc.nodes[:0]
+	return pc
+}
+
+// edgeHitList appends hit index i to edge e's list, kept in a pooled
+// slice arena indexed through byEdge.
+func (t *PIMTrie) edgeHitAdd(byEdge map[*trie.Edge]int, e *trie.Edge, i int) {
+	si, ok := byEdge[e]
+	if !ok {
+		if t.edgeHitUsed == len(t.edgeHitBuf) {
+			t.edgeHitBuf = append(t.edgeHitBuf, nil)
+		}
+		si = t.edgeHitUsed
+		t.edgeHitUsed++
+		t.edgeHitBuf[si] = t.edgeHitBuf[si][:0]
+		byEdge[e] = si
+	}
+	t.edgeHitBuf[si] = append(t.edgeHitBuf[si], i)
+}
+
 // decompose partitions the query trie by the hit positions: every
 // position belongs to the piece of the nearest hit at or above it. The
 // hits must include the root hit. With withPre, every segment carries
-// the ≤w bits above its start (needed by pivot probing).
-func decompose(p *prep, hits []hitRec, withPre bool) []*piece {
-	byEdge := map[*trie.Edge][]int{}
+// the ≤w bits above its start (needed by pivot probing). All bookkeeping
+// (pieces, hit lists, result slices) lives in arenas on the PIMTrie that
+// are recycled wholesale at the next call.
+func (t *PIMTrie) decompose(p *prep, hits []hitRec, withPre bool) []*piece {
+	t.pieceUsed = 0
+	t.edgeHitUsed = 0
+	byEdge := t.byEdgeBuf
+	if byEdge == nil {
+		byEdge = map[*trie.Edge]int{}
+		t.byEdgeBuf = byEdge
+	} else {
+		clear(byEdge)
+	}
 	var rootPiece *piece
-	pieceOf := make([]*piece, len(hits))
+	if cap(t.pieceOfBuf) < len(hits) {
+		t.pieceOfBuf = make([]*piece, len(hits))
+	}
+	pieceOf := t.pieceOfBuf[:len(hits)]
+	for i := range pieceOf {
+		pieceOf[i] = nil
+	}
 	for i, h := range hits {
 		if h.pos.node != nil && h.pos.node.Parent == nil {
-			rootPiece = &piece{hit: h, root: h.pos, childKeys: map[qposKey]bool{}}
+			rootPiece = t.newPiece(h, h.pos)
 			pieceOf[i] = rootPiece
 			continue
 		}
@@ -563,16 +737,20 @@ func decompose(p *prep, hits []hitRec, withPre bool) []*piece {
 		} else {
 			e = h.pos.edge
 		}
-		byEdge[e] = append(byEdge[e], i)
+		t.edgeHitAdd(byEdge, e, i)
 	}
 	if rootPiece == nil {
 		panic("core: decompose without a root hit")
 	}
-	for e, idxs := range byEdge {
-		sort.Slice(idxs, func(a, b int) bool {
-			return hitOff(hits[idxs[a]], e) < hitOff(hits[idxs[b]], e)
-		})
-		byEdge[e] = idxs
+	// Per-edge hit lists are tiny (usually one or two entries), so an
+	// in-place insertion sort beats sort.Slice and allocates nothing.
+	for e, si := range byEdge {
+		idxs := t.edgeHitBuf[si]
+		for i := 1; i < len(idxs); i++ {
+			for j := i; j > 0 && hitOff(hits[idxs[j]], e) < hitOff(hits[idxs[j-1]], e); j-- {
+				idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+			}
+		}
 	}
 	var rec func(n *trie.Node, cur *piece)
 	rec = func(n *trie.Node, cur *piece) {
@@ -583,19 +761,21 @@ func decompose(p *prep, hits []hitRec, withPre bool) []*piece {
 				continue
 			}
 			from := 0
-			fromVal := p.hashes[n]
+			fromVal := p.hashes[n.Index]
 			edgePiece := cur
-			for _, hi := range byEdge[e] {
-				off := hitOff(hits[hi], e)
-				if off > from {
-					edgePiece.addSeg(mkSeg(e, from, off, fromVal, withPre))
+			if si, ok := byEdge[e]; ok {
+				for _, hi := range t.edgeHitBuf[si] {
+					off := hitOff(hits[hi], e)
+					if off > from {
+						edgePiece.addSeg(mkSeg(e, from, off, fromVal, withPre))
+					}
+					edgePiece.childKeys[onEdge(e, off).key()] = true
+					np := t.newPiece(hits[hi], onEdge(e, off))
+					pieceOf[hi] = np
+					edgePiece = np
+					from = off
+					fromVal = hits[hi].val
 				}
-				edgePiece.childKeys[onEdge(e, off).key()] = true
-				np := &piece{hit: hits[hi], root: onEdge(e, off), childKeys: map[qposKey]bool{}}
-				pieceOf[hi] = np
-				edgePiece = np
-				from = off
-				fromVal = hits[hi].val
 			}
 			if from < e.Label.Len() {
 				edgePiece.addSeg(mkSeg(e, from, e.Label.Len(), fromVal, withPre))
@@ -604,12 +784,13 @@ func decompose(p *prep, hits []hitRec, withPre bool) []*piece {
 		}
 	}
 	rec(p.qt.Trie.Root(), rootPiece)
-	out := make([]*piece, 0, len(hits))
+	out := t.piecesBuf[:0]
 	for _, pc := range pieceOf {
 		if pc != nil {
 			out = append(out, pc)
 		}
 	}
+	t.piecesBuf = out
 	return out
 }
 

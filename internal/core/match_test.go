@@ -47,7 +47,7 @@ func TestDecomposeSinglePiece(t *testing.T) {
 		bitstr.MustParse("111"),
 	})
 	root := hitRec{pos: atNode(p.qt.Trie.Root()), info: t2meta(pt)}
-	pieces := decompose(p, []hitRec{root}, false)
+	pieces := pt.decompose(p, []hitRec{root}, false)
 	if len(pieces) != 1 {
 		t.Fatalf("pieces = %d", len(pieces))
 	}
@@ -79,7 +79,7 @@ func TestDecomposeMidEdgeHit(t *testing.T) {
 	// A hit 3 bits down the single edge.
 	hitPos := findEdgePos(p.qt, bitstr.MustParse("000"))
 	mid := hitRec{pos: hitPos, depth: 3, val: pt.h.Hash(bitstr.MustParse("000")), info: t2meta(pt)}
-	pieces := decompose(p, []hitRec{root, mid}, false)
+	pieces := pt.decompose(p, []hitRec{root, mid}, false)
 	if len(pieces) != 2 {
 		t.Fatalf("pieces = %d", len(pieces))
 	}
@@ -249,7 +249,7 @@ func TestChunkEdgesCoverEverything(t *testing.T) {
 			seen[s.edge] = true
 			totalBits += s.end - s.off
 			w += s.words()
-			if s.startVal != p.hashes[s.edge.From] {
+			if s.startVal != p.hashes[s.edge.From.Index] {
 				t.Fatal("segment startVal mismatch")
 			}
 		}
@@ -278,7 +278,8 @@ func TestDedupeHits(t *testing.T) {
 	h1 := hitRec{pos: onEdge(e, 2), depth: 2}
 	h2 := hitRec{pos: onEdge(e, 2), depth: 2}
 	h3 := hitRec{pos: onEdge(e, 3), depth: 3}
-	out := dedupeHits([]hitRec{h1, h2, h3})
+	pt, _ := newTestTrie(2, Config{})
+	out := pt.dedupeHits([]hitRec{h1, h2, h3})
 	if len(out) != 2 {
 		t.Fatalf("dedupe kept %d", len(out))
 	}

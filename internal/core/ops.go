@@ -14,6 +14,48 @@ import (
 	"github.com/pimlab/pimtrie/internal/trie"
 )
 
+// insOp and delOp are the per-key payloads of the Insert and Delete
+// group-by-block maps. They live at package scope so the maps holding
+// them can be pooled on the PIMTrie across batches.
+type insOp struct {
+	rel   bitstr.String
+	value uint64
+}
+
+type delOp struct {
+	rel bitstr.String
+	u   int
+}
+
+// keyScratch returns the pooled per-unique-key piece and remainder
+// slices, zeroed and sized to n.
+func (t *PIMTrie) keyScratch(n int) ([]*piece, []bitstr.String) {
+	if cap(t.pieceBuf) < n {
+		t.pieceBuf = make([]*piece, n)
+		t.relBuf = make([]bitstr.String, n)
+	}
+	pcs, rels := t.pieceBuf[:n], t.relBuf[:n]
+	for i := range pcs {
+		pcs[i] = nil
+		rels[i] = bitstr.Empty
+	}
+	return pcs, rels
+}
+
+// groupScratch returns the pooled per-block word-count map (cleared) and
+// first-seen order slice (emptied); the caller stores the grown order
+// slice back into t.groupOrder.
+func (t *PIMTrie) groupScratch() (map[pim.Addr]int, []pim.Addr) {
+	words := t.groupWords
+	if words == nil {
+		words = map[pim.Addr]int{}
+		t.groupWords = words
+	} else {
+		clear(words)
+	}
+	return words, t.groupOrder[:0]
+}
+
 // matchWithRedo runs the matching protocol, re-hashing and redoing the
 // batch whenever verification detects a hash collision.
 func (t *PIMTrie) matchWithRedo(batch []bitstr.String) *matchOutcome {
@@ -90,15 +132,10 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 	// Group keys by anchor block: each key is inserted into the block of
 	// its bottommost verified hit, as the remainder relative to that
 	// block's root.
-	type ins struct {
-		rel   bitstr.String
-		value uint64
-	}
 	// Per-key remainder extraction (the allocating part) fans out; the
 	// map grouping stays serial so per-block lists keep ascending key
 	// order.
-	pcs := make([]*piece, len(out.qt.Keys))
-	rels := make([]bitstr.String, len(out.qt.Keys))
+	pcs, rels := t.keyScratch(len(out.qt.Keys))
 	parallel.For(len(out.qt.Keys), func(u int) {
 		pc := out.anchorPiece[out.qt.Nodes[u]]
 		pcs[u] = pc
@@ -106,11 +143,17 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 			rels[u] = out.qt.Keys[u].Suffix(pc.hit.depth)
 		}
 	})
-	groups := map[pim.Addr][]ins{}
-	words := map[pim.Addr]int{}
-	var order []pim.Addr // first-seen block order: keeps task emission
-	// (and the RandModule draws any follow-up split consumes)
-	// deterministic for a fixed seed.
+	groups := t.insGroups
+	if groups == nil {
+		groups = map[pim.Addr][]insOp{}
+		t.insGroups = groups
+	} else {
+		clear(groups)
+	}
+	words, order := t.groupScratch()
+	// order is the first-seen block order: it keeps task emission (and
+	// the RandModule draws any follow-up split consumes) deterministic
+	// for a fixed seed.
 	for u := range out.qt.Keys {
 		if pcs[u] == nil {
 			panic("core: key without an anchor piece")
@@ -119,11 +162,12 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 		if _, seen := groups[blk]; !seen {
 			order = append(order, blk)
 		}
-		groups[blk] = append(groups[blk], ins{rel: rels[u], value: val[u]})
+		groups[blk] = append(groups[blk], insOp{rel: rels[u], value: val[u]})
 		// Shared prefixes below the anchor travel once in the real
 		// protocol; charge the unmatched remainder, which dominates.
 		words[blk] += rels[u].Words() + 2
 	}
+	t.groupOrder = order
 	type insReply struct {
 		newKeys   int
 		sizeWords int
@@ -180,17 +224,17 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	defer t.sys.Phase("delete")()
 	out := t.matchWithRedo(keys)
 	endApply := t.sys.Phase("apply")
-	type del struct {
-		rel bitstr.String
-		u   int
+	groups := t.delGroups
+	if groups == nil {
+		groups = map[pim.Addr][]delOp{}
+		t.delGroups = groups
+	} else {
+		clear(groups)
 	}
-	groups := map[pim.Addr][]del{}
-	words := map[pim.Addr]int{}
 	present := make([]bool, len(out.qt.Keys))
 	// Presence checks and remainder extraction fan out; grouping stays
 	// serial (same ascending-key order per block as the serial loop).
-	pcs := make([]*piece, len(out.qt.Keys))
-	rels := make([]bitstr.String, len(out.qt.Keys))
+	pcs, rels := t.keyScratch(len(out.qt.Keys))
 	parallel.For(len(out.qt.Keys), func(u int) {
 		n := out.qt.Nodes[u]
 		if out.reach[n] != n.Depth {
@@ -205,7 +249,7 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 		pcs[u] = pc
 		rels[u] = out.qt.Keys[u].Suffix(pc.hit.depth)
 	})
-	var order []pim.Addr // first-seen order, as in Insert
+	words, order := t.groupScratch() // first-seen order, as in Insert
 	for u := range out.qt.Keys {
 		if !present[u] {
 			continue
@@ -214,9 +258,10 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 		if _, seen := groups[blk]; !seen {
 			order = append(order, blk)
 		}
-		groups[blk] = append(groups[blk], del{rel: rels[u], u: u})
+		groups[blk] = append(groups[blk], delOp{rel: rels[u], u: u})
 		words[blk] += rels[u].Words() + 2
 	}
+	t.groupOrder = order
 	type delReply struct {
 		removed  int
 		empty    bool

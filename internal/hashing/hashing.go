@@ -138,6 +138,77 @@ func (h *Hasher) Hash(s bitstr.String) Value {
 	return Value{H: acc, Len: n}
 }
 
+// HashRange computes Hash(s.Slice(from, to)) without materializing the
+// slice: virtual words are assembled from the packed backing words with
+// two shifts and fed through the same byte table as Hash. This is the
+// allocation-free kernel under the Op batches — every h.Hash(x.Slice(...))
+// pattern on a hot path should be HashRange instead.
+func (h *Hasher) HashRange(s bitstr.String, from, to int) Value {
+	n := to - from
+	if from < 0 || to > s.Len() || n < 0 {
+		panic("hashing: HashRange out of range")
+	}
+	if n == 0 {
+		return Value{}
+	}
+	var acc uint64
+	words := s.RawWords()
+	base := from >> 6
+	shift := uint(from & 63)
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		w := words[base+i] >> shift
+		if shift != 0 {
+			// In bounds: the virtual word's last bit from+i*64+63 < to <= s.Len().
+			w |= words[base+i+1] << (64 - shift)
+		}
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>8)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>16)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>24)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>32)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>40)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>48)])
+		acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w>>56)])
+	}
+	if rem := n & 63; rem != 0 {
+		w := s.RangeWord(from+full*64, to)
+		for ; rem >= 8; rem -= 8 {
+			acc = addmod(mulmod(acc, h.pow8), h.byteT[byte(w)])
+			w >>= 8
+		}
+		for ; rem > 0; rem-- {
+			acc = mulmod(acc, h.base)
+			if w&1 != 0 {
+				acc = addmod(acc, 1)
+			}
+			w >>= 1
+		}
+	}
+	return Value{H: acc, Len: n}
+}
+
+// ExtendRange is Extend(a, s.Slice(from, to)) off the packed words:
+// Combine(a, HashRange(s, from, to)) without the intermediate String.
+func (h *Hasher) ExtendRange(a Value, s bitstr.String, from, to int) Value {
+	b := h.HashRange(s, from, to)
+	return Value{H: addmod(mulmod(a.H, h.powN(b.Len)), b.H), Len: a.Len + b.Len}
+}
+
+// ShrinkRange is Shrink(ab, s.Slice(from, to)) off the packed words.
+func (h *Hasher) ShrinkRange(ab Value, s bitstr.String, from, to int) Value {
+	n := to - from
+	if n > ab.Len {
+		panic("hashing: ShrinkRange suffix longer than the value")
+	}
+	hb := h.HashRange(s, from, to)
+	diff := ab.H + p - hb.H
+	if diff >= p {
+		diff -= p
+	}
+	return Value{H: mulmod(diff, h.powInvN(n)), Len: ab.Len - n}
+}
+
 // EmptyValue is the hash of the empty string.
 func EmptyValue() Value { return Value{} }
 
@@ -253,7 +324,7 @@ func (h *Hasher) PrefixHashes(s bitstr.String, stride int) []Value {
 	out := make([]Value, k)
 	acc := Value{}
 	for i := 1; i < k; i++ {
-		acc = h.Extend(acc, s.Slice((i-1)*stride, i*stride))
+		acc = h.ExtendRange(acc, s, (i-1)*stride, i*stride)
 		out[i] = acc
 	}
 	return out

@@ -24,6 +24,11 @@ func init() { maxProcsV.Store(int64(runtime.NumCPU())) }
 
 func maxProcs() int { return int(maxProcsV.Load()) }
 
+// MaxProcs returns the current worker-count cap. Exported so packages
+// that run their own fork-join code (bitstr.ArgSort takes an explicit
+// procs argument to stay dependency-free) can honor the same cap.
+func MaxProcs() int { return maxProcs() }
+
 // SetMaxProcs overrides the worker count (0 restores the default) and
 // returns the previous value. It is safe for concurrent use; primitives
 // already executing finish with the cap they observed at entry.

@@ -27,17 +27,19 @@ type QueryTrie struct {
 
 // Build sorts and deduplicates the batch, computes adjacent LCPs
 // implicitly, and generates the Patricia trie (Algorithm 1). It is the
-// QTrieConstruct preprocessing run on the host for every batch.
+// QTrieConstruct preprocessing run on the host for every batch. Every
+// compressed node is assigned a dense preorder Index so per-node side
+// data (NodeHashes) lives in flat slices.
 func Build(batch []bitstr.String) *QueryTrie {
 	n := len(batch)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	// Parallel stable arg-sort (the StringSort step of Algorithm 1).
-	parallel.MergeSort(idx, func(a, b int) bool {
-		return bitstr.Compare(batch[a], batch[b]) < 0
-	})
+	// Parallel radix arg-sort over the packed key words (the StringSort
+	// step of Algorithm 1); stability is irrelevant because equal keys
+	// collapse into one slot below.
+	bitstr.ArgSort(batch, idx, parallel.MaxProcs())
 	qt := &QueryTrie{Slot: make([]int, n)}
 	var values []uint64
 	for _, bi := range idx {
@@ -49,6 +51,12 @@ func Build(batch []bitstr.String) *QueryTrie {
 		qt.Slot[bi] = len(qt.Keys) - 1
 	}
 	qt.Trie, qt.Nodes = trie.BuildFromSorted(qt.Keys, values)
+	pre := 0
+	qt.Trie.WalkPreorder(func(nd *trie.Node) bool {
+		nd.Index = pre
+		pre++
+		return true
+	})
 	return qt
 }
 
@@ -58,14 +66,26 @@ func (q *QueryTrie) SizeWords() int { return q.Trie.SizeWords() }
 // NodeHashes computes the node hash (hash of the represented string) of
 // every compressed node by a rootfix scan: each node extends its
 // parent's value by its parent edge label (Lemma 4.9's sequential core).
-func (q *QueryTrie) NodeHashes(h *hashing.Hasher) map[*trie.Node]hashing.Value {
-	out := make(map[*trie.Node]hashing.Value, q.Trie.NodeCount())
+// The result is indexed by Node.Index, which the walk reassigns as fresh
+// preorder numbers — callers may have restructured the trie since Build
+// (e.g. SplitLongEdges), so the build-time numbering cannot be trusted.
+// buf, when large enough, is reused as the backing store so a caller
+// processing batch after batch allocates nothing here.
+func (q *QueryTrie) NodeHashes(h *hashing.Hasher, buf []hashing.Value) []hashing.Value {
+	nc := q.Trie.NodeCount()
+	if cap(buf) < nc {
+		buf = make([]hashing.Value, nc)
+	}
+	out := buf[:nc]
+	pre := 0
 	var rec func(n *trie.Node, v hashing.Value)
 	rec = func(n *trie.Node, v hashing.Value) {
-		out[n] = v
+		n.Index = pre
+		out[pre] = v
+		pre++
 		for b := 0; b < 2; b++ {
 			if e := n.Child[b]; e != nil {
-				rec(e.To, h.Extend(v, e.Label))
+				rec(e.To, h.ExtendRange(v, e.Label, 0, e.Label.Len()))
 			}
 		}
 	}

@@ -140,12 +140,17 @@ func TestNodeHashesMatchDirect(t *testing.T) {
 		batch[i] = bitstr.MustParse(randomKey(r, 100))
 	}
 	qt := Build(batch)
-	hashes := qt.NodeHashes(h)
+	hashes := qt.NodeHashes(h, nil)
 	count := 0
+	seen := make(map[int]bool)
 	qt.Trie.WalkPreorder(func(n *trie.Node) bool {
 		count++
+		if n.Index < 0 || n.Index >= len(hashes) || seen[n.Index] {
+			t.Fatalf("node Index %d is not a dense permutation of [0,%d)", n.Index, len(hashes))
+		}
+		seen[n.Index] = true
 		want := h.Hash(trie.NodeString(n))
-		if hashes[n] != want {
+		if hashes[n.Index] != want {
 			t.Fatalf("node hash mismatch at depth %d", n.Depth)
 		}
 		return true

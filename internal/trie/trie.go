@@ -39,6 +39,12 @@ type Node struct {
 	// are only ever set by the blocking machinery in partition.go.
 	Mirror bool
 	Anchor bool
+
+	// Index is a dense identifier for builders that keep array-indexed
+	// per-node side data (querytrie assigns preorder numbers so node
+	// hashes live in a flat []Value instead of a pointer-keyed map).
+	// The trie itself never reads or maintains it.
+	Index int
 }
 
 // Edge is a compressed edge with a non-empty bit-string label. The first
@@ -167,10 +173,15 @@ func (t *Trie) locate(key bitstr.String) (node *Node, edge *Edge, off int, rem b
 		if e == nil {
 			return cur, nil, 0, key.Suffix(pos), pos
 		}
-		r := key.Suffix(pos)
-		l := bitstr.LCP(e.Label, r)
+		// Compare the label against the key in place; the remainder is
+		// materialized once at the exit, not on every edge step.
+		n := key.Len() - pos
+		if n > e.Label.Len() {
+			n = e.Label.Len()
+		}
+		l := bitstr.LCPRange(e.Label, 0, key, pos, n)
 		if l < e.Label.Len() {
-			return nil, e, l, r, pos + l
+			return nil, e, l, key.Suffix(pos), pos + l
 		}
 		pos += e.Label.Len()
 		cur = e.To
