@@ -1,0 +1,121 @@
+package pimtrie
+
+// Chaos harness: a long mixed workload runs under seeded random
+// crashes, stragglers and truncated transfers (plus one crash scheduled
+// at the fault-free run's midpoint, so every chaos run is guaranteed to
+// exercise recovery), and every answer — plus a final full dump — must
+// come out bit-identical to the fault-free oracle.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// chaosLog collects every observable answer of the chaos workload.
+type chaosLog struct {
+	lcps   [][]int
+	values [][]uint64
+	founds [][]bool
+	dels   [][]bool
+	subs   [][][]KV
+	dump   []KV
+	n      int
+}
+
+// runChaosWorkload drives the fixed mixed workload — bulk load, then
+// rounds of Insert/LCP/Get/Delete/Subtrees — and returns the answers
+// with the index for post-run inspection.
+func runChaosWorkload(opts Options) (chaosLog, *Index) {
+	const (
+		p     = 16
+		n     = 1500
+		batch = 128
+	)
+	g := workload.New(3)
+	keys := g.VarLen(n, 32, 128)
+	values := g.Values(len(keys))
+
+	ix := New(p, opts)
+	ix.Load(keys, values)
+
+	var lg chaosLog
+	for r := 0; r < 6; r++ {
+		fresh := g.FixedLen(batch, 72)
+		ix.Insert(fresh, g.Values(len(fresh)))
+		lg.lcps = append(lg.lcps, ix.LCP(g.PrefixQueries(keys, batch, 10)))
+		v, f := ix.Get(fresh)
+		lg.values = append(lg.values, v)
+		lg.founds = append(lg.founds, f)
+		lg.dels = append(lg.dels, ix.Delete(keys[r*batch:(r+1)*batch]))
+		prefixes := make([]Key, 6)
+		for i := range prefixes {
+			prefixes[i] = keys[(r+1)*batch+i*11].Prefix(18)
+		}
+		lg.subs = append(lg.subs, ix.Subtrees(prefixes))
+	}
+	lg.dump = ix.Subtree(KeyFromBytes(nil))
+	lg.n = ix.Len()
+	return lg, ix
+}
+
+func TestChaosWorkloadMatchesOracle(t *testing.T) {
+	oracle, oix := runChaosWorkload(Options{Seed: 11})
+	if h := oix.Health(); h.Recoverable || h.Recoveries != 0 {
+		t.Fatalf("oracle unexpectedly recoverable/recovered: %+v", h)
+	}
+	mid := oix.Metrics().Rounds / 2
+
+	for _, fseed := range []int64{1, 2, 3} {
+		fseed := fseed
+		t.Run(fmt.Sprintf("fault-seed-%d", fseed), func(t *testing.T) {
+			plan := &FaultPlan{
+				Seed:         fseed,
+				CrashProb:    0.01,
+				StraggleProb: 0.02,
+				TruncateProb: 0.01,
+				MaxCrashes:   4,
+				Events:       []FaultEvent{{Round: mid, Kind: FaultCrash, Module: -1}},
+			}
+			got, ix := runChaosWorkload(Options{Seed: 11, Faults: plan})
+			if !reflect.DeepEqual(got, oracle) {
+				t.Errorf("chaos answers diverge from the fault-free oracle")
+			}
+			h := ix.Health()
+			if h.Crashes < 1 || h.Recoveries < 1 {
+				t.Errorf("chaos run injected no crash/recovery: %+v", h)
+			}
+			if h.Degraded || len(h.DeadModules) != 0 {
+				t.Errorf("index left degraded: %+v", h)
+			}
+			if h.RecoveryCost.Rounds <= 0 || h.RecoveryCost.IOTime <= 0 {
+				t.Errorf("recovery cost not accounted: %+v", h.RecoveryCost)
+			}
+		})
+	}
+}
+
+// TestChaosReplayable: the same fault seed must replay the same chaos
+// run — identical answers, identical metrics, identical health.
+func TestChaosReplayable(t *testing.T) {
+	plan := FaultPlan{
+		Seed:         9,
+		CrashProb:    0.01,
+		StraggleProb: 0.02,
+		TruncateProb: 0.01,
+		MaxCrashes:   3,
+	}
+	a, aix := runChaosWorkload(Options{Seed: 11, Faults: &plan})
+	b, bix := runChaosWorkload(Options{Seed: 11, Faults: &plan})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("answers differ between replays of the same fault seed")
+	}
+	if !reflect.DeepEqual(aix.Metrics(), bix.Metrics()) {
+		t.Errorf("metrics differ between replays:\n a: %+v\n b: %+v", aix.Metrics(), bix.Metrics())
+	}
+	if !reflect.DeepEqual(aix.Health(), bix.Health()) {
+		t.Errorf("health differs between replays:\n a: %+v\n b: %+v", aix.Health(), bix.Health())
+	}
+}

@@ -9,6 +9,7 @@
 //	pimbench -p 64 -n 50000 -batch 4096 -seed 7
 //	pimbench -list                   # list experiment IDs
 //	pimbench -exp E2 -trace t.jsonl  # phase-attributed trace (pimtrie-trace reads it)
+//	pimbench -faults                 # fault-injection/recovery experiment (EF)
 //	pimbench -json results.json      # machine-readable tables
 //	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
 //	pimbench -bench - -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -48,6 +49,7 @@ var registry = []struct {
 	{"E9c", "ablation: hash width", experiments.AblationHashWidth},
 	{"E9d", "ablation: region size", experiments.AblationRegionSize},
 	{"E9e", "ablation: pivot probing", experiments.AblationPivotProbing},
+	{"EF", "fault injection: module-loss recovery", experiments.FaultRecovery},
 }
 
 // traceCollector attaches an obs.Tracer to every system an experiment
@@ -103,6 +105,7 @@ func main() {
 		n     = flag.Int("n", experiments.DefaultScale.N, "stored keys")
 		batch = flag.Int("batch", experiments.DefaultScale.Batch, "queries per batch")
 		seed  = flag.Int64("seed", experiments.DefaultScale.Seed, "workload/placement seed")
+		flts  = flag.Bool("faults", false, "run the fault-injection/recovery experiment (shorthand for -exp EF)")
 		trace = flag.String("trace", "", "write a phase-attributed JSONL trace of every system to this path")
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
@@ -162,6 +165,10 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
+	}
+	if *flts {
+		// -faults alone selects just EF; with -exp it adds EF to the list.
+		want["EF"] = true
 	}
 
 	var collector *traceCollector

@@ -105,6 +105,30 @@ func report(tr *obs.Trace, top int, timeline, check bool) error {
 	})
 	printAligned(rows)
 
+	// Module-loss recovery summary: everything attributed to "recover"
+	// span subtrees (present only in fault-injected runs).
+	var rec struct {
+		repairs                 int
+		rounds, ioTime, ioWords int64
+	}
+	for _, st := range stats {
+		base := st.Path == "recover" || strings.HasSuffix(st.Path, "/recover")
+		inside := strings.HasPrefix(st.Path, "recover/") || strings.Contains(st.Path, "/recover/")
+		if base {
+			rec.repairs += st.Spans
+		}
+		if base || inside {
+			rec.rounds += st.M.Rounds
+			rec.ioTime += st.M.IOTime
+			rec.ioWords += st.M.IOWords
+		}
+	}
+	if rec.repairs > 0 {
+		fmt.Printf("recovery: %d repair(s), %d rounds, io-time %d, io-words %d (%.1f%% of total io-time)\n",
+			rec.repairs, rec.rounds, rec.ioTime, rec.ioWords,
+			100*float64(rec.ioTime)/float64(max64(tr.Total.IOTime, 1)))
+	}
+
 	hot := tr.HotModules(top)
 	var totIO int64
 	for _, v := range tr.Total.PerModuleIO {
@@ -138,6 +162,13 @@ func report(tr *obs.Trace, top int, timeline, check bool) error {
 
 func i64(v int64) string { return fmt.Sprintf("%d", v) }
 func itoa(v int) string  { return fmt.Sprintf("%d", v) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 // bal formats a balance ratio, blank when the phase moved no data.
 func bal(v float64) string {

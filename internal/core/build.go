@@ -35,8 +35,14 @@ func (t *PIMTrie) Build(keys []bitstr.String, values []uint64) {
 		panic("core: Build on a non-empty PIM-trie")
 	}
 	if len(keys) != len(values) {
-		panic("core: Build keys/values length mismatch")
+		panic(fmt.Sprintf("core: Build keys/values length mismatch: %d keys, %d values", len(keys), len(values)))
 	}
+	t.shadowInsert(keys, values)
+	t.withRecovery(true, func() { t.buildOnce(keys, values) })
+	t.syncKeyCount()
+}
+
+func (t *PIMTrie) buildOnce(keys []bitstr.String, values []uint64) {
 	defer t.sys.Phase("build")()
 	// Host-side construction of the full compressed trie.
 	full := trie.New()
@@ -49,7 +55,10 @@ func (t *PIMTrie) Build(keys []bitstr.String, values []uint64) {
 }
 
 // loadFromTrie blocks, distributes and indexes the given host trie.
+// The whole load is a dirty window: a module lost partway leaves mixed
+// old/new state that only a full rebuild can fix.
 func (t *PIMTrie) loadFromTrie(full *trie.Trie) {
+	t.dirty++
 	cuts := full.Partition(t.cfg.BlockWords)
 	cuts = dropMirrorCuts(cuts)
 	specs := full.ExtractBlocks(cuts)
@@ -57,6 +66,7 @@ func (t *PIMTrie) loadFromTrie(full *trie.Trie) {
 
 	for attempt := 0; ; attempt++ {
 		if err := t.installBlocks(specs); err == nil {
+			t.dirty--
 			return
 		}
 		if attempt >= t.cfg.MaxRedo {
@@ -125,6 +135,13 @@ func (t *PIMTrie) installBlocks(specs []*trie.BlockSpec) error {
 	resps := t.sys.Round(tasks)
 	for i, r := range resps {
 		metas[i].addr = r.Value.(pim.Addr)
+	}
+	if t.recoverable {
+		// The block directory is rebuilt from scratch on a full load.
+		clear(t.blockDir)
+		for i, sp := range specs {
+			t.blockDir[metas[i].addr] = sp.RootString
+		}
 	}
 	// Wire mirrors: one round updating children lists and parent links.
 	wire := make([]pim.Task, 0, len(specs))
@@ -348,10 +365,14 @@ func metasRootAddr(metas []*blockMeta) pim.Addr {
 func (t *PIMTrie) rehash() {
 	defer t.sys.Phase("rehash")()
 	t.rehashes++
+	// Dirty window: a module lost mid-rehash leaves survivors with root
+	// values under mixed salts; only a full rebuild restores coherence.
+	t.dirty++
 	for attempt := 0; ; attempt++ {
 		t.hashSalt++
 		t.h = hashing.New(t.hashSalt, t.cfg.HashWidth)
 		if err := t.rebuildHashes(); err == nil {
+			t.dirty--
 			return
 		}
 		if attempt >= t.cfg.MaxRedo {

@@ -69,6 +69,11 @@ type Config struct {
 	PivotProbing bool
 	// MaxRedo caps collision-triggered redo attempts per batch.
 	MaxRedo int
+	// Recoverable maintains the host-retained key authority (shadow trie
+	// + block directory) needed to rebuild lost modules, even when the
+	// system has no fault plan installed. It is implied by an active
+	// pim.FaultPlan.
+	Recoverable bool
 }
 
 func (c Config) withDefaults(p int) Config {
@@ -169,6 +174,23 @@ type PIMTrie struct {
 	redos     int
 	falseHits int
 
+	// Module-loss recovery state (recover.go). The shadow trie is the
+	// host-retained key authority; blockDir maps every live block to the
+	// absolute bit string of its root, so the host can re-partition a
+	// lost module's shard without touching the dead module. dirty is a
+	// counter (not deferred) around distributed mutations: a fault while
+	// it is nonzero means module state may be half-applied and recovery
+	// must rebuild from the shadow instead of repairing in place.
+	recoverable  bool
+	shadow       *trie.Trie
+	blockDir     map[pim.Addr]bitstr.String
+	dirty        int
+	degraded     bool
+	recoveries   int
+	fullRebuilds int
+	modulesLost  int
+	recoveryCost pim.Metrics
+
 	// Per-batch scratch, reused across batches so the steady-state host
 	// path allocates proportionally to its results, not to the phases it
 	// runs. PIMTrie is not safe for concurrent use (batches are the unit
@@ -208,6 +230,15 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 		hashSalt: cfg.HashSeed,
 		master:   map[uint64]masterEntry{},
 	}
+	t.recoverable = cfg.Recoverable || sys.FaultsEnabled()
+	if t.recoverable {
+		t.shadow = trie.New()
+		t.blockDir = map[pim.Addr]bitstr.String{}
+	}
+	// Construction is not a recoverable window: an index that loses a
+	// module before it exists has nothing to rebuild from.
+	sys.SuspendFaults()
+	defer sys.ResumeFaults()
 	defer sys.Phase("init")()
 	// Install empty master replicas and the empty root block + region.
 	resp := sys.Broadcast(1, func(m *pim.Module) pim.Resp {
@@ -242,6 +273,9 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 		}},
 	})
 	t.rootBlock = rootAddr
+	if t.recoverable {
+		t.blockDir[rootAddr] = bitstr.Empty
+	}
 	t.master[rootHash] = masterEntry{Region: regAddr, Len: 0, SLast: bitstr.Empty, Block: rootAddr}
 	t.broadcastMaster()
 	return t

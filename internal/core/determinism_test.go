@@ -32,8 +32,9 @@ type suiteResult struct {
 
 // runOpSuite drives Build, LCP, Insert, Get, Delete, SubtreeQueryBatch
 // and a final LCP with both the module-executor fan-out and the
-// host-side worker count fixed to par.
-func runOpSuite(par int) suiteResult {
+// host-side worker count fixed to par. Extra system options (e.g. a
+// fault plan) apply on top of the fixed seed.
+func runOpSuite(par int, sysOpts ...pim.Option) (suiteResult, Health) {
 	prev := parallel.SetMaxProcs(par)
 	defer parallel.SetMaxProcs(prev)
 
@@ -49,7 +50,8 @@ func runOpSuite(par int) suiteResult {
 	fresh := g.FixedLen(batch, 96)
 	freshVals := g.Values(len(fresh))
 
-	sys := pim.NewSystem(p, pim.WithSeed(1), pim.WithMaxParallelism(par))
+	opts := append([]pim.Option{pim.WithSeed(1), pim.WithMaxParallelism(par)}, sysOpts...)
+	sys := pim.NewSystem(p, opts...)
 	defer sys.Close()
 	pt := New(sys, Config{HashSeed: 1})
 	pt.Build(keys, values)
@@ -67,13 +69,13 @@ func runOpSuite(par int) suiteResult {
 	r.lcp2 = pt.LCP(queries)
 	r.metrics = sys.Metrics()
 	r.stats = pt.CollectStats()
-	return r
+	return r, pt.Health()
 }
 
 func TestDeterminismAcrossParallelism(t *testing.T) {
-	serial := runOpSuite(1)
-	serialAgain := runOpSuite(1)
-	wide := runOpSuite(8)
+	serial, _ := runOpSuite(1)
+	serialAgain, _ := runOpSuite(1)
+	wide, _ := runOpSuite(8)
 
 	if !reflect.DeepEqual(serial, serialAgain) {
 		t.Fatalf("serial run is not reproducible with a fixed seed")
@@ -97,5 +99,45 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	if !reflect.DeepEqual(serial.stats, wide.stats) {
 		t.Errorf("stats differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
 			serial.stats, wide.stats)
+	}
+}
+
+// TestDeterminismAcrossParallelismWithFaults is the same contract under
+// an active fault plan: injected crashes, stragglers and truncations —
+// and the recoveries they force — must leave every metric, every
+// answer, and the recovery cost itself bit-identical no matter how many
+// workers run.
+func TestDeterminismAcrossParallelismWithFaults(t *testing.T) {
+	plan := pim.FaultPlan{
+		Seed:         21,
+		Events:       []pim.FaultEvent{{Round: 25, Kind: pim.FaultCrash, Module: -1}},
+		CrashProb:    0.001,
+		StraggleProb: 0.01,
+		TruncateProb: 0.004,
+		MaxCrashes:   2,
+	}
+	serial, hSerial := runOpSuite(1, pim.WithFaults(plan))
+	serialAgain, hAgain := runOpSuite(1, pim.WithFaults(plan))
+	wide, hWide := runOpSuite(8, pim.WithFaults(plan))
+
+	if !reflect.DeepEqual(serial, serialAgain) || !reflect.DeepEqual(hSerial, hAgain) {
+		t.Fatalf("faulted serial run is not reproducible with a fixed seed")
+	}
+	if !reflect.DeepEqual(serial.metrics, wide.metrics) {
+		t.Errorf("faulted metrics differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
+			serial.metrics, wide.metrics)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("faulted results differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(hSerial, hWide) {
+		t.Errorf("recovery status differs between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
+			hSerial, hWide)
+	}
+	if hSerial.Recoveries < 1 {
+		t.Fatalf("fault plan injected no recovery (health %+v); the test is vacuous", hSerial)
+	}
+	if hSerial.RecoveryCost.Rounds <= 0 || hSerial.RecoveryCost.IOTime <= 0 {
+		t.Errorf("recovery cost not accounted: %+v", hSerial.RecoveryCost)
 	}
 }

@@ -15,6 +15,7 @@ package core
 // names the region holding that root's meta.
 
 import (
+	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/hashing"
 	"github.com/pimlab/pimtrie/internal/hvm"
 	"github.com/pimlab/pimtrie/internal/parallel"
@@ -46,6 +47,7 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 		parent int // index into allNew, or -1 when parented by the old block
 		oldIdx int // which oversized block it came from
 		val    hashing.Value
+		rel    bitstr.String // root string relative to the old block's root
 	}
 	type replacement struct {
 		addr     pim.Addr
@@ -80,7 +82,7 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 			}
 			nb.rootHash = t.h.Out(val)
 			slot[si] = len(allNew)
-			allNew = append(allNew, newBlock{bo: nb, parent: -1, oldIdx: oi, val: val})
+			allNew = append(allNew, newBlock{bo: nb, parent: -1, oldIdx: oi, val: val, rel: sp.RootString})
 		}
 		// Children lists: new-cut mirrors point at new blocks, surviving
 		// old mirrors keep their old addresses (Value preserved by
@@ -149,6 +151,14 @@ func (t *PIMTrie) splitBlocks(oversized []pim.Addr) {
 	newAddr := make([]pim.Addr, len(allNew))
 	for i, r := range t.sys.Round(alloc) {
 		newAddr[i] = r.Value.(pim.Addr)
+	}
+	if t.recoverable {
+		// Register the new blocks in the directory; the old (replaced)
+		// blocks keep their address and root string.
+		for i := range allNew {
+			base := t.blockDir[oversized[allNew[i].oldIdx]]
+			t.blockDir[newAddr[i]] = base.Concat(allNew[i].rel)
+		}
 	}
 
 	// Host: patch child slots that point at new blocks, and set parents.
@@ -641,6 +651,9 @@ func (t *PIMTrie) removeBlocks(emptied []pim.Addr) {
 		var fixes []parentFix
 		for _, v := range victims {
 			addr := v.addr
+			if t.recoverable {
+				delete(t.blockDir, addr)
+			}
 			free = append(free, pim.Task{Module: addr.Module, SendWords: 1, Run: func(m *pim.Module) pim.Resp {
 				m.Free(addr.ID)
 				return pim.Resp{}

@@ -80,6 +80,12 @@ func (t *PIMTrie) LCP(batch []bitstr.String) []int {
 	if len(batch) == 0 {
 		return nil
 	}
+	var res []int
+	t.withRecovery(false, func() { res = t.lcpOnce(batch) })
+	return res
+}
+
+func (t *PIMTrie) lcpOnce(batch []bitstr.String) []int {
 	defer t.sys.Phase("lcp")()
 	out := t.matchWithRedo(batch)
 	res := make([]int, len(batch))
@@ -93,11 +99,16 @@ func (t *PIMTrie) LCP(batch []bitstr.String) []int {
 // batch[i]. Get is LCP plus the exact-node value check, provided because
 // every practical index needs point lookups.
 func (t *PIMTrie) Get(batch []bitstr.String) (values []uint64, found []bool) {
+	if len(batch) == 0 {
+		return []uint64{}, []bool{}
+	}
+	t.withRecovery(false, func() { values, found = t.getOnce(batch) })
+	return values, found
+}
+
+func (t *PIMTrie) getOnce(batch []bitstr.String) (values []uint64, found []bool) {
 	values = make([]uint64, len(batch))
 	found = make([]bool, len(batch))
-	if len(batch) == 0 {
-		return
-	}
 	defer t.sys.Phase("get")()
 	out := t.matchWithRedo(batch)
 	for i := range batch {
@@ -116,14 +127,21 @@ func (t *PIMTrie) Get(batch []bitstr.String) (values []uint64, found []bool) {
 // the batch win, matching sequential insertion semantics.
 func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 	if len(keys) != len(values) {
-		panic("core: Insert keys/values length mismatch")
+		panic(fmt.Sprintf("core: Insert keys/values length mismatch: %d keys, %d values", len(keys), len(values)))
 	}
 	if len(keys) == 0 {
 		return
 	}
+	t.shadowInsert(keys, values)
+	t.withRecovery(true, func() { t.insertOnce(keys, values) })
+	t.syncKeyCount()
+}
+
+func (t *PIMTrie) insertOnce(keys []bitstr.String, values []uint64) {
 	defer t.sys.Phase("insert")()
 	out := t.matchWithRedo(keys)
 	endApply := t.sys.Phase("apply")
+	t.dirty++ // module state is mixed until the apply (and any split) lands
 	// Resolve batch duplicates: last write wins.
 	val := make([]uint64, len(out.qt.Keys))
 	for i := range keys {
@@ -212,18 +230,46 @@ func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
 	if len(oversized) > 0 {
 		t.splitBlocks(oversized)
 	}
+	t.dirty--
 }
 
 // Delete removes a batch of keys (§5.2), reporting per key whether it
 // was present.
 func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
-	res := make([]bool, len(keys))
 	if len(keys) == 0 {
-		return res
+		return []bool{}
 	}
+	// In recoverable mode the result comes from the shadow: it encodes
+	// exactly the sequential-duplicate semantics (first occurrence of a
+	// present key reports true), and it survives a mid-batch recovery
+	// that replays or rebuilds the distributed application.
+	var shadowRes []bool
+	if t.recoverable {
+		end := t.sys.Phase("shadow")
+		shadowRes = make([]bool, len(keys))
+		w := 0
+		for i, k := range keys {
+			shadowRes[i] = t.shadow.Delete(k)
+			w += k.Words() + 1
+		}
+		t.sys.CPUWork(w)
+		end()
+	}
+	var res []bool
+	t.withRecovery(true, func() { res = t.deleteOnce(keys) })
+	t.syncKeyCount()
+	if t.recoverable {
+		return shadowRes
+	}
+	return res
+}
+
+func (t *PIMTrie) deleteOnce(keys []bitstr.String) []bool {
+	res := make([]bool, len(keys))
 	defer t.sys.Phase("delete")()
 	out := t.matchWithRedo(keys)
 	endApply := t.sys.Phase("apply")
+	t.dirty++ // module state is mixed until the apply (and any removal) lands
 	groups := t.delGroups
 	if groups == nil {
 		groups = map[pim.Addr][]delOp{}
@@ -314,6 +360,7 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	if len(emptied) > 0 {
 		t.removeBlocks(emptied)
 	}
+	t.dirty--
 	// Sequential semantics for duplicate batch entries: only the first
 	// occurrence of a present key reports true.
 	reported := make([]bool, len(out.qt.Keys))
@@ -340,10 +387,16 @@ func (t *PIMTrie) SubtreeQuery(prefix bitstr.String) []trie.KV {
 // BFS round. results[i] corresponds to prefixes[i]; overlapping queries
 // fetch their blocks independently (each result must be complete).
 func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
-	results := make([][]trie.KV, len(prefixes))
 	if len(prefixes) == 0 {
-		return results
+		return [][]trie.KV{}
 	}
+	var results [][]trie.KV
+	t.withRecovery(false, func() { results = t.subtreeOnce(prefixes) })
+	return results
+}
+
+func (t *PIMTrie) subtreeOnce(prefixes []bitstr.String) [][]trie.KV {
+	results := make([][]trie.KV, len(prefixes))
 	defer t.sys.Phase("subtree")()
 	out := t.matchWithRedo(prefixes)
 	endGather := t.sys.Phase("push-pull")

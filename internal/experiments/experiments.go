@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"github.com/pimlab/pimtrie/internal/baseline"
@@ -672,6 +673,86 @@ func AblationPivotProbing(sc Scale) Table {
 	return t
 }
 
+// FaultRecovery reproduces the robustness claim: under a seeded fault
+// plan, answers stay bit-identical to a fault-free oracle while the
+// module-loss repair cost is first-class in the model metrics. Each
+// scenario runs the same build + LCP/Insert/Delete/LCP script; the
+// answers-ok column compares every result against the fault-free run.
+func FaultRecovery(sc Scale) Table {
+	t := Table{
+		ID:    "EF",
+		Title: "fault injection: module-loss recovery",
+		Header: []string{
+			"scenario", "crashes", "straggles", "truncs",
+			"recoveries", "full-rebuilds", "rec-rounds", "rec-io-time", "answers-ok",
+		},
+		Notes: "answers-ok: all results bit-identical to the fault-free oracle",
+	}
+	g := workload.New(sc.Seed)
+	keys := g.VarLen(sc.N, 32, 128)
+	values := g.Values(len(keys))
+	queries := g.PrefixQueries(keys, sc.Batch, 12)
+	fresh := g.FixedLen(sc.Batch, 64)
+	freshVals := g.Values(len(fresh))
+
+	type outcome struct {
+		lcp1, lcp2 []int
+		dels       []bool
+		n          int
+	}
+	run := func(plan *pim.FaultPlan) (outcome, core.Health, int64) {
+		opts := []pim.Option{pim.WithSeed(sc.Seed)}
+		if plan != nil {
+			opts = append(opts, pim.WithFaults(*plan))
+		}
+		sys := pim.NewSystem(sc.P, opts...)
+		defer sys.Close()
+		pt := core.New(sys, core.Config{HashSeed: uint64(sc.Seed), Recoverable: true})
+		pt.Build(keys, values)
+		var o outcome
+		o.lcp1 = pt.LCP(queries)
+		pt.Insert(fresh, freshVals)
+		o.dels = pt.Delete(keys[:sc.Batch])
+		o.lcp2 = pt.LCP(queries)
+		o.n = pt.KeyCount()
+		return o, pt.Health(), sys.Metrics().Rounds
+	}
+
+	oracle, _, rounds := run(nil)
+	mid := rounds / 2
+	scenarios := []struct {
+		name string
+		plan *pim.FaultPlan
+	}{
+		{"fault-free", nil},
+		{"crash-1", &pim.FaultPlan{Events: []pim.FaultEvent{
+			{Round: mid, Kind: pim.FaultCrash, Module: -1},
+		}}},
+		{"crash-2", &pim.FaultPlan{Events: []pim.FaultEvent{
+			{Round: rounds / 3, Kind: pim.FaultCrash, Module: -1},
+			{Round: 2 * rounds / 3, Kind: pim.FaultCrash, Module: -1},
+		}}},
+		{"chaos", &pim.FaultPlan{
+			Seed: sc.Seed, CrashProb: 0.01, StraggleProb: 0.05,
+			TruncateProb: 0.02, MaxCrashes: 4,
+			Events: []pim.FaultEvent{{Round: mid, Kind: pim.FaultCrash, Module: -1}},
+		}},
+	}
+	for _, s := range scenarios {
+		o, h, _ := run(s.plan)
+		ok := "yes"
+		if !reflect.DeepEqual(o, oracle) {
+			ok = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name, i64(h.Crashes), i64(h.Straggles), i64(h.Truncations),
+			fmt.Sprintf("%d", h.Recoveries), fmt.Sprintf("%d", h.FullRebuilds),
+			i64(h.RecoveryCost.Rounds), i64(h.RecoveryCost.IOTime), ok,
+		})
+	}
+	return t
+}
+
 // All runs every experiment at the given scale.
 func All(sc Scale) []Table {
 	return []Table{
@@ -690,5 +771,6 @@ func All(sc Scale) []Table {
 		AblationHashWidth(sc),
 		AblationRegionSize(sc),
 		AblationPivotProbing(sc),
+		FaultRecovery(sc),
 	}
 }

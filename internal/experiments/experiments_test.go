@@ -210,3 +210,29 @@ func TestAblationPivotProbingShapes(t *testing.T) {
 		t.Fatalf("pivot probing did not reduce PIM work: %v vs %v", cell(t, tb, 1, 1), cell(t, tb, 0, 1))
 	}
 }
+
+func TestFaultRecoveryShapes(t *testing.T) {
+	tb := FaultRecovery(tiny)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("expected 4 scenarios, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("scenario %q diverged from the fault-free oracle", row[0])
+		}
+	}
+	// The fault-free row must report no injected faults and no repair
+	// cost; every crash scenario must report recoveries with nonzero
+	// rounds and IO time.
+	if cell(t, tb, 0, 1) != 0 || cell(t, tb, 0, 6) != 0 {
+		t.Fatalf("fault-free row reports faults/repair: %v", tb.Rows[0])
+	}
+	for r := 1; r < len(tb.Rows); r++ {
+		if cell(t, tb, r, 1) < 1 {
+			t.Fatalf("scenario %q injected no crash", tb.Rows[r][0])
+		}
+		if cell(t, tb, r, 4) < 1 || cell(t, tb, r, 6) <= 0 || cell(t, tb, r, 7) <= 0 {
+			t.Fatalf("scenario %q has uncosted recovery: %v", tb.Rows[r][0], tb.Rows[r])
+		}
+	}
+}

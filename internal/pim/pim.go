@@ -91,7 +91,7 @@ func (m *Module) Alloc(obj any) Addr {
 func (m *Module) Get(id uint64) any {
 	obj, ok := m.objects[id]
 	if !ok {
-		panic(fmt.Sprintf("pim: module %d: dangling address %d", m.id, id))
+		panic(&InvariantError{Op: "dangling address", Module: m.id, ID: id})
 	}
 	return obj
 }
@@ -100,7 +100,7 @@ func (m *Module) Get(id uint64) any {
 func (m *Module) Resize(id uint64) {
 	obj, ok := m.objects[id]
 	if !ok {
-		panic(fmt.Sprintf("pim: module %d: resize of dangling address %d", m.id, id))
+		panic(&InvariantError{Op: "resize of dangling address", Module: m.id, ID: id})
 	}
 	m.space -= m.sizes[id]
 	sz := sizeOf(obj)
@@ -111,7 +111,7 @@ func (m *Module) Resize(id uint64) {
 // Free releases the object at id.
 func (m *Module) Free(id uint64) {
 	if _, ok := m.objects[id]; !ok {
-		panic(fmt.Sprintf("pim: module %d: double free of %d", m.id, id))
+		panic(&InvariantError{Op: "double free", Module: m.id, ID: id})
 	}
 	m.space -= m.sizes[id]
 	delete(m.objects, id)
@@ -328,8 +328,12 @@ type System struct {
 	modules []*Module
 	rng     *rand.Rand
 	rngMu   sync.Mutex
+	seed    int64
 	metrics Metrics
 	maxPar  int // cap on concurrently executing module programs
+
+	faults     *faultState // nil on a fault-free system
+	phaseDepth int         // open phases, for post-panic unwinding
 
 	// Persistent round executor (started lazily by Round) and pooled
 	// per-round scratch. perModule buckets task indices by module and is
@@ -452,7 +456,10 @@ type Option func(*System)
 
 // WithSeed fixes the seed of the host's placement RNG (RandModule).
 func WithSeed(seed int64) Option {
-	return func(s *System) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *System) {
+		s.seed = seed
+		s.rng = rand.New(rand.NewSource(seed))
+	}
 }
 
 // WithMaxParallelism caps how many module programs run concurrently;
@@ -480,6 +487,7 @@ func NewSystem(p int, opts ...Option) *System {
 	s := &System{
 		p:      p,
 		rng:    rand.New(rand.NewSource(1)),
+		seed:   1,
 		maxPar: runtime.GOMAXPROCS(0),
 	}
 	s.modules = make([]*Module, p)
@@ -490,6 +498,16 @@ func NewSystem(p int, opts ...Option) *System {
 	s.metrics.PerModuleWrk = make([]int64, p)
 	for _, o := range opts {
 		o(s)
+	}
+	if s.faults != nil {
+		// Seed the fault RNG here, after all options, so a zero plan seed
+		// derives from the system seed regardless of option order.
+		s.faults.dead = make([]bool, p)
+		fseed := s.faults.plan.Seed
+		if fseed == 0 {
+			fseed = s.seed ^ 0x7fb5d329728ea185
+		}
+		s.faults.rng = rand.New(rand.NewSource(fseed))
 	}
 	systemHookMu.Lock()
 	hook := systemHook
@@ -514,10 +532,30 @@ func (s *System) Phase(name string) func() {
 		return noopPhaseEnd
 	}
 	r.BeginPhase(name)
-	return func() { r.EndPhase() }
+	s.phaseDepth++
+	return func() {
+		r.EndPhase()
+		s.phaseDepth--
+	}
 }
 
 var noopPhaseEnd = func() {}
+
+// PhaseDepth returns the number of currently open phases. Recovery code
+// snapshots it before an operation so UnwindPhases can restore balance
+// after a panic skipped non-deferred phase ends.
+func (s *System) PhaseDepth() int { return s.phaseDepth }
+
+// UnwindPhases closes open phases until the depth drops back to depth.
+// A ModuleLostError panic can unwind past phase ends that are not
+// deferred; without rebalancing, the recorder's Begin/End pairing — and
+// with it the obs conservation check — would break.
+func (s *System) UnwindPhases(depth int) {
+	for s.phaseDepth > depth && s.recorder != nil {
+		s.recorder.EndPhase()
+		s.phaseDepth--
+	}
+}
 
 // P returns the number of PIM modules.
 func (s *System) P() int { return s.p }
@@ -566,11 +604,38 @@ func (s *System) Module(i int) *Module { return s.modules[i] }
 // module), and replies are read back. It returns the replies in task
 // order and updates every cost counter.
 //
+// Under an active fault plan a round may lose a module; Round reports
+// that by panicking with the *ModuleLostError (algorithm code deep in
+// a batch has no useful local reaction — the recovery layer catches
+// it). Callers that prefer an error use TryRound.
+func (s *System) Round(tasks []Task) []Resp {
+	resps, err := s.TryRound(tasks)
+	if err != nil {
+		panic(err)
+	}
+	return resps
+}
+
+// TryRound is Round with fault reporting: when an injected crash fires
+// during the round, or tasks target an already-dead module, it returns
+// the (partial) replies plus a *ModuleLostError instead of panicking.
+// On a fault-free system it never returns an error.
+func (s *System) TryRound(tasks []Task) ([]Resp, error) {
+	if f := s.faults; f != nil && f.suspended == 0 {
+		// Even empty rounds go through the fault path: every round
+		// boundary must consume the same RNG draws to stay replayable.
+		return s.roundFaulted(tasks)
+	}
+	return s.roundNormal(tasks), nil
+}
+
+// roundNormal is the fault-free execution path.
+//
 // Execution goes through the System's persistent worker pool — one
 // roundJob per busy module — except when the effective parallelism is 1
 // or only one module is busy, in which case the programs run inline on
 // the host goroutine (same observable behavior, no scheduling cost).
-func (s *System) Round(tasks []Task) []Resp {
+func (s *System) roundNormal(tasks []Task) []Resp {
 	if len(tasks) == 0 {
 		// An empty round still synchronizes; count it to keep algorithms
 		// honest about their round structure. It touches no scratch.
@@ -592,7 +657,10 @@ func (s *System) Round(tasks []Task) []Resp {
 	touched := s.touched[:0]
 	for i, t := range tasks {
 		if t.Module < 0 || t.Module >= s.p {
-			panic(fmt.Sprintf("pim: task %d targets invalid module %d", i, t.Module))
+			panic(&InvariantError{
+				Op: "invalid task target", Module: t.Module, ID: uint64(i),
+				Detail: fmt.Sprintf("task %d of %d", i, len(tasks)),
+			})
 		}
 		if len(s.perModule[t.Module]) == 0 {
 			touched = append(touched, t.Module)

@@ -227,6 +227,30 @@ func (t *Trie) Insert(key bitstr.String, value uint64) bool {
 	}
 }
 
+// InsertMirror grafts a mirror leaf at key carrying slot as its Value
+// (mirrors use Value as a child-block slot index, never as a stored
+// key's payload). It is used when rebuilding a lost block host-side:
+// the child-block roots form an antichain that no retained key extends,
+// so the mirror's position is always fresh — a new leaf hanging off an
+// existing node or a hidden node inside an edge. Any other outcome
+// means the caller's key set was inconsistent, and InsertMirror panics.
+func (t *Trie) InsertMirror(key bitstr.String, slot uint64) *Node {
+	node, edge, off, rem, _ := t.locate(key)
+	leaf := &Node{Mirror: true, Value: slot}
+	switch {
+	case node != nil && !rem.IsEmpty():
+		t.nodes++
+		t.attach(node, rem, leaf)
+	case edge != nil && off < rem.Len():
+		mid := t.splitEdge(edge, off)
+		t.nodes++
+		t.attach(mid, rem.Suffix(off), leaf)
+	default:
+		panic(fmt.Sprintf("trie: InsertMirror at %s: position not fresh", key))
+	}
+	return leaf
+}
+
 // Get returns the value stored under key.
 func (t *Trie) Get(key bitstr.String) (uint64, bool) {
 	node, _, _, rem, _ := t.locate(key)

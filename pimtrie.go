@@ -23,6 +23,8 @@
 package pimtrie
 
 import (
+	"fmt"
+
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/core"
 	"github.com/pimlab/pimtrie/internal/pim"
@@ -65,7 +67,39 @@ type Options struct {
 	// PivotProbing enables the paper's §4.4.2 optimized HashMatching
 	// (pivot classes + two-layer indexes) for the region phase.
 	PivotProbing bool
+	// Faults installs a deterministic fault-injection plan on the
+	// simulated system (module crash-stops, stragglers, truncated
+	// transfers). Installing a plan implies Recoverable.
+	Faults *FaultPlan
+	// Recoverable maintains the host-retained key authority needed to
+	// rebuild lost modules even without a fault plan.
+	Recoverable bool
 }
+
+// Fault-injection types, re-exported from the simulator.
+type (
+	// FaultPlan drives deterministic fault injection; see pim.FaultPlan.
+	FaultPlan = pim.FaultPlan
+	// FaultEvent schedules one fault at a fixed round boundary.
+	FaultEvent = pim.FaultEvent
+	// FaultKind classifies an injected fault.
+	FaultKind = pim.FaultKind
+	// ModuleLostError reports crash-stopped modules from the Try*
+	// operation variants.
+	ModuleLostError = pim.ModuleLostError
+	// InvariantError reports a simulator invariant violation (always a
+	// bug, never an injected fault).
+	InvariantError = pim.InvariantError
+	// Health reports fault/recovery status and accumulated repair cost.
+	Health = core.Health
+)
+
+// Fault kinds for FaultEvent/FaultPlan.
+const (
+	FaultCrash    = pim.FaultCrash
+	FaultStraggle = pim.FaultStraggle
+	FaultTruncate = pim.FaultTruncate
+)
 
 // Metrics re-exports the PIM Model cost counters.
 type Metrics = pim.Metrics
@@ -78,9 +112,16 @@ type Index struct {
 	core *core.PIMTrie
 }
 
-// New creates an empty index over p PIM modules.
+// New creates an empty index over p PIM modules. It panics if p < 1.
 func New(p int, opts Options) *Index {
-	sys := pim.NewSystem(p, pim.WithSeed(opts.Seed))
+	if p < 1 {
+		panic(fmt.Sprintf("pimtrie: New requires at least one PIM module, got p = %d", p))
+	}
+	sysOpts := []pim.Option{pim.WithSeed(opts.Seed)}
+	if opts.Faults != nil {
+		sysOpts = append(sysOpts, pim.WithFaults(*opts.Faults))
+	}
+	sys := pim.NewSystem(p, sysOpts...)
 	cfg := core.Config{
 		BlockWords:    opts.BlockWords,
 		MetaBlockMax:  opts.MetaBlockMax,
@@ -88,17 +129,26 @@ func New(p int, opts Options) *Index {
 		HashSeed:      uint64(opts.Seed) ^ 0x5eed,
 		HashWidth:     opts.HashWidth,
 		PivotProbing:  opts.PivotProbing,
+		Recoverable:   opts.Recoverable,
 	}
 	return &Index{sys: sys, core: core.New(sys, cfg)}
 }
 
 // Load bulk-loads an empty index (faster than Insert for initial data).
+// It panics if len(keys) != len(values).
 func (ix *Index) Load(keys []Key, values []uint64) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("pimtrie: Load called with %d keys but %d values", len(keys), len(values)))
+	}
 	ix.core.Build(keys, values)
 }
 
 // Insert stores a batch of key-value pairs; later duplicates win.
+// It panics if len(keys) != len(values).
 func (ix *Index) Insert(keys []Key, values []uint64) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("pimtrie: Insert called with %d keys but %d values", len(keys), len(values)))
+	}
 	ix.core.Insert(keys, values)
 }
 
@@ -146,3 +196,67 @@ type Stats = core.Stats
 
 // Stats returns structural diagnostics.
 func (ix *Index) Stats() Stats { return ix.core.CollectStats() }
+
+// Health returns the fault/recovery status: degraded state, dead
+// modules, completed recoveries and their accumulated model cost, and
+// injected-fault counts.
+func (ix *Index) Health() Health { return ix.core.Health() }
+
+// catchFaults converts *pim.ModuleLostError and *pim.InvariantError
+// panics into errors for the Try* operation variants; other panics
+// propagate.
+func catchFaults(op func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch e := r.(type) {
+		case *ModuleLostError:
+			err = e
+		case *InvariantError:
+			err = e
+		default:
+			panic(r)
+		}
+	}()
+	op()
+	return nil
+}
+
+// TryLoad is Load returning fault conditions as errors instead of
+// panicking. On a recoverable index (Options.Faults or Recoverable)
+// faults are repaired internally and no error is returned; an error
+// here means the index is not recoverable and its contents are suspect.
+func (ix *Index) TryLoad(keys []Key, values []uint64) error {
+	return catchFaults(func() { ix.Load(keys, values) })
+}
+
+// TryInsert is Insert with fault conditions as errors; see TryLoad.
+func (ix *Index) TryInsert(keys []Key, values []uint64) error {
+	return catchFaults(func() { ix.Insert(keys, values) })
+}
+
+// TryDelete is Delete with fault conditions as errors; see TryLoad.
+func (ix *Index) TryDelete(keys []Key) (res []bool, err error) {
+	err = catchFaults(func() { res = ix.Delete(keys) })
+	return res, err
+}
+
+// TryLCP is LCP with fault conditions as errors; see TryLoad.
+func (ix *Index) TryLCP(queries []Key) (res []int, err error) {
+	err = catchFaults(func() { res = ix.LCP(queries) })
+	return res, err
+}
+
+// TryGet is Get with fault conditions as errors; see TryLoad.
+func (ix *Index) TryGet(queries []Key) (values []uint64, found []bool, err error) {
+	err = catchFaults(func() { values, found = ix.Get(queries) })
+	return values, found, err
+}
+
+// TrySubtrees is Subtrees with fault conditions as errors; see TryLoad.
+func (ix *Index) TrySubtrees(prefixes []Key) (res [][]KV, err error) {
+	err = catchFaults(func() { res = ix.Subtrees(prefixes) })
+	return res, err
+}
