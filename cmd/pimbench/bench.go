@@ -35,6 +35,10 @@ type BenchResult struct {
 	// RoundsPerSec is BSP rounds executed per wall-clock second during
 	// the timed section (0 for benchmarks that do not expose a system).
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Latency digests per-iteration wall time for the Op* benchmarks
+	// (zero for the engine micro-benchmarks, where per-round timing would
+	// itself dominate the measurement).
+	Latency LatencySummary `json:"latency"`
 }
 
 // BenchReport is the file format of -bench output (and of the checked-in
@@ -51,7 +55,7 @@ type BenchReport struct {
 // (0 when rounds are not meaningful for the benchmark).
 type benchCase struct {
 	name string
-	run  func(b *testing.B, sc experiments.Scale) int64
+	run  func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64
 }
 
 func opIndex(sc experiments.Scale, seed int64) (*pimtrie.Index, []pimtrie.Key, *workload.Gen) {
@@ -63,39 +67,41 @@ func opIndex(sc experiments.Scale, seed int64) (*pimtrie.Index, []pimtrie.Key, *
 }
 
 var benchCases = []benchCase{
-	{"OpLCPBatch", func(b *testing.B, sc experiments.Scale) int64 {
+	{"OpLCPBatch", func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64 {
 		idx, keys, g := opIndex(sc, 1)
 		queries := g.PrefixQueries(keys, sc.Batch, 16)
 		before := idx.Metrics().Rounds
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			idx.LCP(queries)
+			lat.time(func() { idx.LCP(queries) })
 		}
 		return idx.Metrics().Rounds - before
 	}},
-	{"OpGetBatch", func(b *testing.B, sc experiments.Scale) int64 {
+	{"OpGetBatch", func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64 {
 		idx, keys, g := opIndex(sc, 2)
 		queries := g.Zipf(keys, sc.Batch, 1.2)
 		before := idx.Metrics().Rounds
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			idx.Get(queries)
+			lat.time(func() { idx.Get(queries) })
 		}
 		return idx.Metrics().Rounds - before
 	}},
-	{"OpInsertDeleteBatch", func(b *testing.B, sc experiments.Scale) int64 {
+	{"OpInsertDeleteBatch", func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64 {
 		idx, _, g := opIndex(sc, 3)
 		fresh := g.FixedLen(sc.Batch, 128)
 		values := g.Values(len(fresh))
 		before := idx.Metrics().Rounds
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			idx.Insert(fresh, values)
-			idx.Delete(fresh)
+			lat.time(func() {
+				idx.Insert(fresh, values)
+				idx.Delete(fresh)
+			})
 		}
 		return idx.Metrics().Rounds - before
 	}},
-	{"OpSubtreeBatch", func(b *testing.B, sc experiments.Scale) int64 {
+	{"OpSubtreeBatch", func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64 {
 		g := workload.New(4)
 		keys := g.SharedPrefix(sc.N, 24, 96)
 		idx := pimtrie.New(sc.P, pimtrie.Options{Seed: 4})
@@ -107,27 +113,29 @@ var benchCases = []benchCase{
 		before := idx.Metrics().Rounds
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			idx.Subtrees(prefixes)
+			lat.time(func() { idx.Subtrees(prefixes) })
 		}
 		return idx.Metrics().Rounds - before
 	}},
-	{"OpBulkLoad", func(b *testing.B, sc experiments.Scale) int64 {
+	{"OpBulkLoad", func(b *testing.B, sc experiments.Scale, lat *latencyRecorder) int64 {
 		g := workload.New(5)
 		keys := g.VarLen(sc.N, 48, 192)
 		values := g.Values(len(keys))
 		var rounds int64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			idx := pimtrie.New(sc.P, pimtrie.Options{Seed: 5})
-			idx.Load(keys, values)
-			rounds += idx.Metrics().Rounds
+			lat.time(func() {
+				idx := pimtrie.New(sc.P, pimtrie.Options{Seed: 5})
+				idx.Load(keys, values)
+				rounds += idx.Metrics().Rounds
+			})
 		}
 		return rounds
 	}},
 	// RoundFanout isolates the engine: one round of Batch trivial tasks
 	// spread over the modules, repeated. Dispatch, bucketing and
 	// accounting dominate; module programs are a single Work(1).
-	{"RoundFanout", func(b *testing.B, sc experiments.Scale) int64 {
+	{"RoundFanout", func(b *testing.B, sc experiments.Scale, _ *latencyRecorder) int64 {
 		sys := pim.NewSystem(sc.P, pim.WithSeed(9))
 		tasks := make([]pim.Task, sc.Batch)
 		for i := range tasks {
@@ -149,7 +157,7 @@ var benchCases = []benchCase{
 	}},
 	// RoundSparse drives many near-empty rounds (one task each), the
 	// pattern of pointer-chasing baselines and maintenance cascades.
-	{"RoundSparse", func(b *testing.B, sc experiments.Scale) int64 {
+	{"RoundSparse", func(b *testing.B, sc experiments.Scale, _ *latencyRecorder) int64 {
 		sys := pim.NewSystem(sc.P, pim.WithSeed(10))
 		task := []pim.Task{{
 			Module:    1,
@@ -181,9 +189,11 @@ func runBenchSuite(sc experiments.Scale, path string) error {
 	for _, bc := range benchCases {
 		bc := bc
 		var rounds int64
+		var lat *latencyRecorder
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			rounds = bc.run(b, sc)
+			lat = &latencyRecorder{} // only the final (timed) run's samples survive
+			rounds = bc.run(b, sc, lat)
 		})
 		r := BenchResult{
 			Name:        bc.name,
@@ -191,13 +201,15 @@ func runBenchSuite(sc experiments.Scale, path string) error {
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
+			Latency:     lat.summary(),
 		}
 		if rounds > 0 && res.T > 0 {
 			r.RoundsPerSec = float64(rounds) / res.T.Seconds()
 		}
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("%-22s %10d iter  %14.0f ns/op  %9d allocs/op  %12.0f rounds/s\n",
-			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.RoundsPerSec)
+		fmt.Printf("%-22s %10d iter  %14.0f ns/op  %9d allocs/op  %12.0f rounds/s  p99 %s\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.RoundsPerSec,
+			time.Duration(int64(r.Latency.P99Ns)).Round(time.Microsecond))
 	}
 	fmt.Println()
 	if path == "" || path == "-" {

@@ -1,0 +1,63 @@
+package main
+
+// Wall-clock latency recording shared by the -bench and -serve suites:
+// a sample-collecting recorder per worker (merged lock-free at the end)
+// and a nearest-rank percentile summary.
+
+import (
+	"sort"
+	"time"
+)
+
+// LatencySummary is the percentile digest of one benchmark's or one
+// serving scenario's latency samples, in nanoseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Ns float64 `json:"p50_ns"`
+	P95Ns float64 `json:"p95_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	MaxNs float64 `json:"max_ns"`
+}
+
+// latencyRecorder collects raw duration samples. Not safe for
+// concurrent use; give each worker its own and merge.
+type latencyRecorder struct {
+	samples []time.Duration
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.samples = append(l.samples, d)
+}
+
+// time runs fn and records its duration.
+func (l *latencyRecorder) time(fn func()) {
+	start := time.Now()
+	fn()
+	l.observe(time.Since(start))
+}
+
+func (l *latencyRecorder) merge(others ...*latencyRecorder) {
+	for _, o := range others {
+		l.samples = append(l.samples, o.samples...)
+	}
+}
+
+// summary sorts the samples (destructively) and digests them.
+func (l *latencyRecorder) summary() LatencySummary {
+	n := len(l.samples)
+	if n == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(l.samples, func(a, b int) bool { return l.samples[a] < l.samples[b] })
+	rank := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return float64(l.samples[i].Nanoseconds())
+	}
+	return LatencySummary{
+		Count: n,
+		P50Ns: rank(0.50),
+		P95Ns: rank(0.95),
+		P99Ns: rank(0.99),
+		MaxNs: float64(l.samples[n-1].Nanoseconds()),
+	}
+}

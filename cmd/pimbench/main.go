@@ -13,6 +13,7 @@
 //	pimbench -json results.json      # machine-readable tables
 //	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
 //	pimbench -bench - -cpuprofile cpu.pprof -memprofile mem.pprof
+//	pimbench -serve BENCH_PR5.json -conc 64 -zipf 1.0   # concurrent serving suite
 package main
 
 import (
@@ -109,6 +110,12 @@ func main() {
 		trace = flag.String("trace", "", "write a phase-attributed JSONL trace of every system to this path")
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
+		srvP  = flag.String("serve", "", "run the concurrent-serving benchmark and write a JSON report to this path (\"-\" for stdout only)")
+		conc  = flag.Int("conc", 64, "-serve: closed-loop client goroutines")
+		depth = flag.Int("depth", 32, "-serve: async requests each client keeps in flight (naive baseline always 1)")
+		zipfS = flag.Float64("zipf", 1.0, "-serve: Zipf exponent of the key stream (0 = uniform; values <= 1 clamp to 1.01)")
+		dur   = flag.Duration("dur", 2*time.Second, "-serve: measured duration per scenario")
+		lngr  = flag.Duration("linger", 200*time.Microsecond, "-serve: Server max-linger (group-commit window)")
 		cpuP  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (analyze with go tool pprof)")
 		memP  = flag.String("memprofile", "", "write an allocation profile of the run to this path")
 	)
@@ -149,6 +156,15 @@ func main() {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 		if err := runBenchSuite(sc, *bench); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *srvP != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		if err := runServeSuite(sc, *conc, *depth, *zipfS, *dur, *lngr, *srvP); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: serve: %v\n", err)
 			os.Exit(1)
 		}
 		return

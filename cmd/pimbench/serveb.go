@@ -1,0 +1,247 @@
+package main
+
+// Concurrent-serving benchmark (-serve): closed-loop clients hammer one
+// index through serve.Server and through the naive alternative (a mutex
+// around one-key-per-batch direct Index calls — what a caller without
+// the serving layer would write), at the same concurrency and key skew.
+// The interesting number is the coalescing speedup: batches are the
+// unit of parallelism in the PIM model, so turning C concurrent
+// single-key requests into large epochs is where the serving layer
+// earns its keep.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/serve"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// ServeScenario is one serving configuration's measured record.
+type ServeScenario struct {
+	Name      string         `json:"name"`
+	Requests  int64          `json:"requests"`
+	OpsPerSec float64        `json:"ops_per_sec"`
+	Latency   LatencySummary `json:"latency"`
+	// Serving-layer counters (zero for the naive baseline).
+	ReadEpochs   uint64  `json:"read_epochs,omitempty"`
+	WriteEpochs  uint64  `json:"write_epochs,omitempty"`
+	AvgEpochKeys float64 `json:"avg_epoch_keys,omitempty"`
+	MaxEpochKeys int     `json:"max_epoch_keys,omitempty"`
+	CacheHits    uint64  `json:"cache_hits,omitempty"`
+	CacheMisses  uint64  `json:"cache_misses,omitempty"`
+}
+
+// ServeReport is the file format of -serve output (BENCH_PR5.json).
+type ServeReport struct {
+	Scale       experiments.Scale `json:"scale"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	When        string            `json:"when"`
+	Concurrency int               `json:"concurrency"`
+	Depth       int               `json:"pipeline_depth"`
+	Zipf        float64           `json:"zipf"`
+	DurationSec float64           `json:"duration_sec"`
+	Results     []ServeScenario   `json:"results"`
+	LingerSec   float64           `json:"linger_sec"`
+	// SpeedupVsNaive is the best serving configuration's ops/sec
+	// (coalescing, with or without the hot-key cache) over the naive
+	// one-request-per-batch loop at identical concurrency and skew.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+type serveMode int
+
+const (
+	modeNaive serveMode = iota // mutex + one-key batches, no Server
+	modeServe                  // coalescing Server, cache off
+	modeCache                  // coalescing Server, hot-key cache on
+	modeMixed                  // Server, 90% get / 5% insert / 5% delete
+)
+
+// inflight is one pipelined request a client has submitted but not yet
+// reaped.
+type inflight struct {
+	start time.Time
+	wait  func()
+}
+
+// runServeScenario runs conc closed-loop clients for dur against a
+// fresh index and returns the measured record. Clients of the serving
+// modes pipeline depth async requests each (the point of the async
+// API: pending requests are what the scheduler coalesces); the naive
+// baseline gains nothing from pipelining — every request is its own
+// one-key batch behind the mutex — so its clients loop synchronously.
+func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration) ServeScenario {
+	idx, keys, _ := opIndex(sc, 6)
+	// The scheduler coalesces whatever is in flight; cap epochs at the
+	// full pipeline window (conc clients x depth pending each) so the
+	// batch-size amortization isn't artificially cut short.
+	maxBatch := conc * depth
+	if maxBatch < sc.Batch {
+		maxBatch = sc.Batch
+	}
+	var srv *serve.Server
+	switch mode {
+	case modeServe, modeMixed:
+		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger})
+	case modeCache:
+		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger, CacheSize: 16 * conc})
+	}
+	var mu sync.Mutex // modeNaive: the serialization a Server-less caller needs
+	var stop atomic.Bool
+	var total atomic.Int64
+	lats := make([]*latencyRecorder, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		lat := &latencyRecorder{}
+		lats[w] = lat
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := workload.NewKeyStream(keys, int64(1000+w), zipfS)
+			r := rand.New(rand.NewSource(int64(2000 + w)))
+			n := int64(0)
+			if mode == modeNaive {
+				for !stop.Load() {
+					k := stream.Next()
+					start := time.Now()
+					mu.Lock()
+					idx.Get([]pimtrie.Key{k})
+					mu.Unlock()
+					lat.observe(time.Since(start))
+					n++
+				}
+				total.Add(n)
+				return
+			}
+			submit := func(k pimtrie.Key) func() {
+				switch {
+				case mode == modeMixed && r.Intn(20) == 0:
+					f := srv.InsertAsync([]pimtrie.Key{k}, []uint64{r.Uint64()})
+					return func() { f.Wait() }
+				case mode == modeMixed && r.Intn(19) == 0:
+					f := srv.DeleteAsync(k)
+					return func() { f.Wait() }
+				default:
+					f := srv.GetAsync(k)
+					return func() { f.Wait() }
+				}
+			}
+			// Ring of pending requests: reap the oldest once depth are
+			// in flight, then submit the next into the freed slot.
+			window := make([]inflight, depth)
+			pending, head := 0, 0
+			for !stop.Load() {
+				if pending == depth {
+					h := window[head]
+					head = (head + 1) % depth
+					pending--
+					h.wait()
+					lat.observe(time.Since(h.start))
+					n++
+				}
+				k := stream.Next()
+				window[(head+pending)%depth] = inflight{start: time.Now(), wait: submit(k)}
+				pending++
+			}
+			for i := 0; i < pending; i++ {
+				window[(head+i)%depth].wait()
+			}
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := dur.Seconds()
+	if srv != nil {
+		srv.Close()
+	}
+	all := &latencyRecorder{}
+	all.merge(lats...)
+	out := ServeScenario{
+		Name:      name,
+		Requests:  total.Load(),
+		OpsPerSec: float64(total.Load()) / elapsed,
+		Latency:   all.summary(),
+	}
+	if srv != nil {
+		st := srv.Stats()
+		out.ReadEpochs, out.WriteEpochs = st.ReadEpochs, st.WriteEpochs
+		out.CacheHits, out.CacheMisses = st.CacheHits, st.CacheMisses
+		out.MaxEpochKeys = st.MaxEpochKeys
+		var execd uint64
+		for op := range st.KeysExecuted {
+			execd += st.KeysExecuted[op]
+		}
+		if epochs := st.ReadEpochs + st.WriteEpochs; epochs > 0 {
+			out.AvgEpochKeys = float64(execd) / float64(epochs)
+		}
+	}
+	return out
+}
+
+// runServeSuite executes the serving scenarios and writes the JSON
+// report to path ("-" for stdout-only).
+func runServeSuite(sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration, path string) error {
+	rep := ServeReport{
+		Scale:       sc,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		When:        time.Now().UTC().Format(time.RFC3339),
+		Concurrency: conc,
+		Depth:       depth,
+		Zipf:        zipfS,
+		DurationSec: dur.Seconds(),
+		LingerSec:   linger.Seconds(),
+	}
+	fmt.Printf("serve: %d clients x depth %d, Zipf(%.2f), %v per scenario, linger %v, P=%d n=%d (GOMAXPROCS=%d)\n\n",
+		conc, depth, zipfS, dur, linger, sc.P, sc.N, rep.GoMaxProcs)
+	scenarios := []struct {
+		name string
+		mode serveMode
+	}{
+		{"naive-1key-batches", modeNaive},
+		{"coalesced", modeServe},
+		{"coalesced+cache", modeCache},
+		{"mixed-writes", modeMixed},
+	}
+	for _, s := range scenarios {
+		res := runServeScenario(s.name, s.mode, sc, conc, depth, zipfS, dur, linger)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-20s %9.0f ops/s  p50 %8s  p99 %8s  epochs %d/%d  avg %5.1f keys/epoch  cache %d/%d\n",
+			res.Name, res.OpsPerSec,
+			time.Duration(int64(res.Latency.P50Ns)).Round(time.Microsecond),
+			time.Duration(int64(res.Latency.P99Ns)).Round(time.Microsecond),
+			res.ReadEpochs, res.WriteEpochs, res.AvgEpochKeys, res.CacheHits, res.CacheMisses)
+	}
+	if rep.Results[0].OpsPerSec > 0 {
+		best := rep.Results[1].OpsPerSec
+		if rep.Results[2].OpsPerSec > best {
+			best = rep.Results[2].OpsPerSec
+		}
+		rep.SpeedupVsNaive = best / rep.Results[0].OpsPerSec
+	}
+	fmt.Printf("\nserving-layer speedup vs naive loop: %.2fx\n\n", rep.SpeedupVsNaive)
+	if path == "" || path == "-" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -37,6 +37,7 @@ func (t *PIMTrie) Build(keys []bitstr.String, values []uint64) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("core: Build keys/values length mismatch: %d keys, %d values", len(keys), len(values)))
 	}
+	defer t.beginBatch("Build")()
 	t.shadowInsert(keys, values)
 	t.withRecovery(true, func() { t.buildOnce(keys, values) })
 	t.syncKeyCount()
@@ -74,7 +75,7 @@ func (t *PIMTrie) loadFromTrie(full *trie.Trie) {
 		}
 		t.rehashes++
 		t.hashSalt++
-		t.h = hashing.New(t.hashSalt, t.cfg.HashWidth)
+		t.setHasher(hashing.New(t.hashSalt, t.cfg.HashWidth))
 	}
 }
 
@@ -370,7 +371,7 @@ func (t *PIMTrie) rehash() {
 	t.dirty++
 	for attempt := 0; ; attempt++ {
 		t.hashSalt++
-		t.h = hashing.New(t.hashSalt, t.cfg.HashWidth)
+		t.setHasher(hashing.New(t.hashSalt, t.cfg.HashWidth))
 		if err := t.rebuildHashes(); err == nil {
 			t.dirty--
 			return

@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/hashing"
@@ -158,11 +159,18 @@ func (r *regionObj) SizeWords() int { return r.r.SizeWords() }
 
 // PIMTrie is the distributed index. Construct with New; not safe for
 // concurrent use (batches are the unit of parallelism, as in the paper).
+// Every batch operation asserts single-caller execution via inUse and
+// panics on overlap — the pooled scratch below would otherwise corrupt
+// silently. The only methods exempt from the guard are Prepare (designed
+// for concurrent pipelining, touches no scratch) and the read-only host
+// accessors (KeyCount, Config, Health, counters).
 type PIMTrie struct {
 	sys *pim.System
 	cfg Config
 
 	h        *hashing.Hasher
+	hcur     atomic.Pointer[hasherState] // atomic view of (h, generation) for Prepare
+	inUse    atomic.Int32                // single-flight execution guard over the pooled scratch
 	hashSalt uint64
 
 	rootBlock   pim.Addr
@@ -226,10 +234,10 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 	t := &PIMTrie{
 		sys:      sys,
 		cfg:      cfg,
-		h:        hashing.New(cfg.HashSeed, cfg.HashWidth),
 		hashSalt: cfg.HashSeed,
 		master:   map[uint64]masterEntry{},
 	}
+	t.setHasher(hashing.New(cfg.HashSeed, cfg.HashWidth))
 	t.recoverable = cfg.Recoverable || sys.FaultsEnabled()
 	if t.recoverable {
 		t.shadow = trie.New()
@@ -279,6 +287,21 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 	t.master[rootHash] = masterEntry{Region: regAddr, Len: 0, SLast: bitstr.Empty, Block: rootAddr}
 	t.broadcastMaster()
 	return t
+}
+
+// beginBatch acquires the single-flight execution guard; the returned
+// func releases it. Every batch operation holds the guard for its whole
+// duration: the per-batch scratch pooled on the PIMTrie (and the
+// simulator itself) is owned by exactly one executing batch at a time,
+// so a concurrent entry is always a caller bug that would corrupt state
+// silently. Failing the CAS panics immediately with a pointer at the
+// supported concurrency path.
+func (t *PIMTrie) beginBatch(op string) func() {
+	if !t.inUse.CompareAndSwap(0, 1) {
+		panic("core: concurrent " + op + " on a PIM-trie: batch operations are single-caller " +
+			"(batches are the unit of parallelism); serialize Index calls or front the Index with serve.Server")
+	}
+	return func() { t.inUse.Store(0) }
 }
 
 // System returns the underlying PIM system (for metric snapshots).

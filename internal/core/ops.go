@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/parallel"
@@ -57,11 +58,18 @@ func (t *PIMTrie) groupScratch() (map[pim.Addr]int, []pim.Addr) {
 }
 
 // matchWithRedo runs the matching protocol, re-hashing and redoing the
-// batch whenever verification detects a hash collision.
-func (t *PIMTrie) matchWithRedo(batch []bitstr.String) *matchOutcome {
+// batch whenever verification detects a hash collision. A staged
+// preparation (pb, may be nil) is consumed on the first attempt if its
+// hash generation is still current; redo attempts always re-prepare
+// because the re-hash invalidated the staged node hashes.
+func (t *PIMTrie) matchWithRedo(batch []bitstr.String, pb *Prepared) *matchOutcome {
 	for attempt := 0; attempt <= t.cfg.MaxRedo; attempt++ {
 		endPrep := t.sys.Phase("prepare")
-		p := t.prepare(batch)
+		p := t.consumePrepared(pb)
+		if p == nil {
+			p = t.prepare(batch)
+		}
+		pb = nil
 		endPrep()
 		out, err := t.match(p)
 		if err == nil {
@@ -76,18 +84,25 @@ func (t *PIMTrie) matchWithRedo(batch []bitstr.String) *matchOutcome {
 // LCP answers a batch of LongestCommonPrefix queries (§5.1): result[i]
 // is the length in bits of the longest prefix of batch[i] present in the
 // index (as a prefix of any stored key).
-func (t *PIMTrie) LCP(batch []bitstr.String) []int {
+func (t *PIMTrie) LCP(batch []bitstr.String) []int { return t.lcpBatch(batch, nil) }
+
+// LCPPrepared is LCP consuming a staged host-side preparation (see
+// Prepare); model metrics are identical to LCP on the same batch.
+func (t *PIMTrie) LCPPrepared(pb *Prepared) []int { return t.lcpBatch(pb.batch, pb) }
+
+func (t *PIMTrie) lcpBatch(batch []bitstr.String, pb *Prepared) []int {
 	if len(batch) == 0 {
 		return nil
 	}
+	defer t.beginBatch("LCP")()
 	var res []int
-	t.withRecovery(false, func() { res = t.lcpOnce(batch) })
+	t.withRecovery(false, func() { res = t.lcpOnce(batch, pb) })
 	return res
 }
 
-func (t *PIMTrie) lcpOnce(batch []bitstr.String) []int {
+func (t *PIMTrie) lcpOnce(batch []bitstr.String, pb *Prepared) []int {
 	defer t.sys.Phase("lcp")()
-	out := t.matchWithRedo(batch)
+	out := t.matchWithRedo(batch, pb)
 	res := make([]int, len(batch))
 	for i := range batch {
 		res[i] = out.lcpOf(out.qt.Slot[i])
@@ -99,18 +114,28 @@ func (t *PIMTrie) lcpOnce(batch []bitstr.String) []int {
 // batch[i]. Get is LCP plus the exact-node value check, provided because
 // every practical index needs point lookups.
 func (t *PIMTrie) Get(batch []bitstr.String) (values []uint64, found []bool) {
+	return t.getBatch(batch, nil)
+}
+
+// GetPrepared is Get consuming a staged preparation; see Prepare.
+func (t *PIMTrie) GetPrepared(pb *Prepared) (values []uint64, found []bool) {
+	return t.getBatch(pb.batch, pb)
+}
+
+func (t *PIMTrie) getBatch(batch []bitstr.String, pb *Prepared) (values []uint64, found []bool) {
 	if len(batch) == 0 {
 		return []uint64{}, []bool{}
 	}
-	t.withRecovery(false, func() { values, found = t.getOnce(batch) })
+	defer t.beginBatch("Get")()
+	t.withRecovery(false, func() { values, found = t.getOnce(batch, pb) })
 	return values, found
 }
 
-func (t *PIMTrie) getOnce(batch []bitstr.String) (values []uint64, found []bool) {
+func (t *PIMTrie) getOnce(batch []bitstr.String, pb *Prepared) (values []uint64, found []bool) {
 	values = make([]uint64, len(batch))
 	found = make([]bool, len(batch))
 	defer t.sys.Phase("get")()
-	out := t.matchWithRedo(batch)
+	out := t.matchWithRedo(batch, pb)
 	for i := range batch {
 		u := out.qt.Slot[i]
 		n := out.qt.Nodes[u]
@@ -126,20 +151,31 @@ func (t *PIMTrie) getOnce(batch []bitstr.String) (values []uint64, found []bool)
 // Insert stores a batch of key-value pairs (§5.2). Later duplicates in
 // the batch win, matching sequential insertion semantics.
 func (t *PIMTrie) Insert(keys []bitstr.String, values []uint64) {
+	t.insertBatch(keys, values, nil)
+}
+
+// InsertPrepared is Insert consuming a staged preparation of the key
+// batch; see Prepare.
+func (t *PIMTrie) InsertPrepared(pb *Prepared, values []uint64) {
+	t.insertBatch(pb.batch, values, pb)
+}
+
+func (t *PIMTrie) insertBatch(keys []bitstr.String, values []uint64, pb *Prepared) {
 	if len(keys) != len(values) {
 		panic(fmt.Sprintf("core: Insert keys/values length mismatch: %d keys, %d values", len(keys), len(values)))
 	}
 	if len(keys) == 0 {
 		return
 	}
+	defer t.beginBatch("Insert")()
 	t.shadowInsert(keys, values)
-	t.withRecovery(true, func() { t.insertOnce(keys, values) })
+	t.withRecovery(true, func() { t.insertOnce(keys, values, pb) })
 	t.syncKeyCount()
 }
 
-func (t *PIMTrie) insertOnce(keys []bitstr.String, values []uint64) {
+func (t *PIMTrie) insertOnce(keys []bitstr.String, values []uint64, pb *Prepared) {
 	defer t.sys.Phase("insert")()
-	out := t.matchWithRedo(keys)
+	out := t.matchWithRedo(keys, pb)
 	endApply := t.sys.Phase("apply")
 	t.dirty++ // module state is mixed until the apply (and any split) lands
 	// Resolve batch duplicates: last write wins.
@@ -235,10 +271,16 @@ func (t *PIMTrie) insertOnce(keys []bitstr.String, values []uint64) {
 
 // Delete removes a batch of keys (§5.2), reporting per key whether it
 // was present.
-func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
+func (t *PIMTrie) Delete(keys []bitstr.String) []bool { return t.deleteBatch(keys, nil) }
+
+// DeletePrepared is Delete consuming a staged preparation; see Prepare.
+func (t *PIMTrie) DeletePrepared(pb *Prepared) []bool { return t.deleteBatch(pb.batch, pb) }
+
+func (t *PIMTrie) deleteBatch(keys []bitstr.String, pb *Prepared) []bool {
 	if len(keys) == 0 {
 		return []bool{}
 	}
+	defer t.beginBatch("Delete")()
 	// In recoverable mode the result comes from the shadow: it encodes
 	// exactly the sequential-duplicate semantics (first occurrence of a
 	// present key reports true), and it survives a mid-batch recovery
@@ -256,7 +298,7 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 		end()
 	}
 	var res []bool
-	t.withRecovery(true, func() { res = t.deleteOnce(keys) })
+	t.withRecovery(true, func() { res = t.deleteOnce(keys, pb) })
 	t.syncKeyCount()
 	if t.recoverable {
 		return shadowRes
@@ -264,10 +306,10 @@ func (t *PIMTrie) Delete(keys []bitstr.String) []bool {
 	return res
 }
 
-func (t *PIMTrie) deleteOnce(keys []bitstr.String) []bool {
+func (t *PIMTrie) deleteOnce(keys []bitstr.String, pb *Prepared) []bool {
 	res := make([]bool, len(keys))
 	defer t.sys.Phase("delete")()
-	out := t.matchWithRedo(keys)
+	out := t.matchWithRedo(keys, pb)
 	endApply := t.sys.Phase("apply")
 	t.dirty++ // module state is mixed until the apply (and any removal) lands
 	groups := t.delGroups
@@ -387,18 +429,29 @@ func (t *PIMTrie) SubtreeQuery(prefix bitstr.String) []trie.KV {
 // BFS round. results[i] corresponds to prefixes[i]; overlapping queries
 // fetch their blocks independently (each result must be complete).
 func (t *PIMTrie) SubtreeQueryBatch(prefixes []bitstr.String) [][]trie.KV {
+	return t.subtreeBatch(prefixes, nil)
+}
+
+// SubtreeQueryPrepared is SubtreeQueryBatch consuming a staged
+// preparation of the prefix batch; see Prepare.
+func (t *PIMTrie) SubtreeQueryPrepared(pb *Prepared) [][]trie.KV {
+	return t.subtreeBatch(pb.batch, pb)
+}
+
+func (t *PIMTrie) subtreeBatch(prefixes []bitstr.String, pb *Prepared) [][]trie.KV {
 	if len(prefixes) == 0 {
 		return [][]trie.KV{}
 	}
+	defer t.beginBatch("SubtreeQuery")()
 	var results [][]trie.KV
-	t.withRecovery(false, func() { results = t.subtreeOnce(prefixes) })
+	t.withRecovery(false, func() { results = t.subtreeOnce(prefixes, pb) })
 	return results
 }
 
-func (t *PIMTrie) subtreeOnce(prefixes []bitstr.String) [][]trie.KV {
+func (t *PIMTrie) subtreeOnce(prefixes []bitstr.String, pb *Prepared) [][]trie.KV {
 	results := make([][]trie.KV, len(prefixes))
 	defer t.sys.Phase("subtree")()
-	out := t.matchWithRedo(prefixes)
+	out := t.matchWithRedo(prefixes, pb)
 	endGather := t.sys.Phase("push-pull")
 
 	type fetch struct {
@@ -485,37 +538,38 @@ type subtreeReply struct {
 	kids []mirrorOut
 }
 
-// sortKVs orders results lexicographically (blocks return their own
-// contents sorted, but block subtrees interleave).
-func sortKVs(kvs []trie.KV) {
-	// Small result sets dominate; a simple merge-ready sort suffices.
-	if len(kvs) < 2 {
-		return
-	}
-	quickSortKVs(kvs)
-}
+// sortKVsRadixCutoff is the result size above which the shared parallel
+// MSD radix sort (bitstr.ArgSort, the same core behind query-trie
+// construction) beats the comparison sort.
+const sortKVsRadixCutoff = 2048
 
-func quickSortKVs(kvs []trie.KV) {
+// sortKVs orders results lexicographically (blocks return their own
+// contents sorted, but block subtrees interleave). Small results take
+// the stdlib comparison sort; large ones go through the shared parallel
+// radix ArgSort over the packed key words. Keys within one result are
+// unique (each stored key appears once), so tie order cannot differ
+// between the two paths; with ties (which tests construct directly) both
+// paths are still deterministic for a fixed input.
+func sortKVs(kvs []trie.KV) {
 	if len(kvs) < 2 {
 		return
 	}
-	pivot := kvs[len(kvs)/2].Key
-	lt, i, gt := 0, 0, len(kvs)-1
-	for i <= gt {
-		switch bitstr.Compare(kvs[i].Key, pivot) {
-		case -1:
-			kvs[lt], kvs[i] = kvs[i], kvs[lt]
-			lt++
-			i++
-		case 1:
-			kvs[gt], kvs[i] = kvs[i], kvs[gt]
-			gt--
-		default:
-			i++
-		}
+	if len(kvs) <= sortKVsRadixCutoff {
+		slices.SortFunc(kvs, func(a, b trie.KV) int { return bitstr.Compare(a.Key, b.Key) })
+		return
 	}
-	quickSortKVs(kvs[:lt])
-	quickSortKVs(kvs[gt+1:])
+	keys := make([]bitstr.String, len(kvs))
+	idx := make([]int, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+		idx[i] = i
+	}
+	bitstr.ArgSort(keys, idx, parallel.MaxProcs())
+	sorted := make([]trie.KV, len(kvs))
+	for i, j := range idx {
+		sorted[i] = kvs[j]
+	}
+	copy(kvs, sorted)
 }
 
 var _ = fmt.Sprintf

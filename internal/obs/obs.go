@@ -198,10 +198,10 @@ func addRound(m *pim.Metrics, tr pim.RoundTrace) {
 // Trace is an immutable snapshot of a Tracer (or one trace read back
 // from a JSONL file): the unit the exporter and the analyzer share.
 type Trace struct {
-	Label string
-	P     int
-	Spans []Span
-	Rounds []Round
+	Label        string
+	P            int
+	Spans        []Span
+	Rounds       []Round
 	Total        pim.Metrics
 	Unattributed pim.Metrics
 	// System is the traced system's own metrics delta between Attach and

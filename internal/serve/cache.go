@@ -1,0 +1,96 @@
+package serve
+
+import "encoding/binary"
+
+// appendKeyID appends k's canonical map identity — bit length plus
+// payload words (tail bits are always zeroed by bitstr) — to buf.
+// Callers reuse one scratch buffer under Server.mu; map lookups via
+// string(buf) do not allocate, only insertions intern the string.
+func appendKeyID(buf []byte, k Key) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(k.Len()))
+	for _, w := range k.RawWords() {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// cacheVal is one cached read result, stamped with the write-epoch
+// counter at the time its epoch was formed.
+type cacheVal struct {
+	stamp uint64
+	value uint64
+	found bool
+	lcp   int
+}
+
+// hotCache is the opt-in skew-aware read cache, one map per cacheable
+// read op. All access is under Server.mu. Consistency comes entirely
+// from the stamp rule in get — eviction policy only affects the hit
+// rate, so it is kept simple: when full, one sweep drops stale
+// entries; if none were stale an arbitrary entry makes room.
+type hotCache struct {
+	cap int
+	m   [2]map[string]cacheVal // OpGet, OpLCP
+}
+
+func newHotCache(capacity int) *hotCache {
+	h := &hotCache{cap: capacity}
+	for i := range h.m {
+		h.m[i] = make(map[string]cacheVal, capacity/2)
+	}
+	return h
+}
+
+// get returns the entry for (op, id) only if its stamp matches the
+// current write-epoch counter, i.e. no write epoch has been ordered
+// after the read epoch that produced it.
+func (h *hotCache) get(op Op, id []byte, formedWrites uint64) (cacheVal, bool) {
+	e, ok := h.m[op][string(id)]
+	if !ok || e.stamp != formedWrites {
+		return cacheVal{}, false
+	}
+	return e, true
+}
+
+func (h *hotCache) put(op Op, id []byte, v cacheVal, formedWrites uint64) {
+	m := h.m[op]
+	if _, exists := m[string(id)]; !exists && h.size() >= h.cap {
+		h.evict(formedWrites)
+	}
+	m[string(id)] = v
+}
+
+func (h *hotCache) size() int { return len(h.m[0]) + len(h.m[1]) }
+
+func (h *hotCache) evict(formedWrites uint64) {
+	dropped := false
+	for op := range h.m {
+		for id, e := range h.m[op] {
+			if e.stamp != formedWrites {
+				delete(h.m[op], id)
+				dropped = true
+			}
+		}
+	}
+	if dropped {
+		return
+	}
+	for op := range h.m {
+		for id := range h.m[op] {
+			delete(h.m[op], id)
+			return
+		}
+	}
+}
+
+// admit reports whether an entry for (op, id) may be stored: always
+// when refreshing an existing entry or while there is room, and under
+// pressure only when the key was observed hot (deduplicated within its
+// epoch, i.e. requested concurrently more than once).
+func (h *hotCache) admit(op Op, id []byte, hot bool) bool {
+	if hot || h.size() < h.cap {
+		return true
+	}
+	_, exists := h.m[op][string(id)]
+	return exists
+}

@@ -1,0 +1,650 @@
+package serve
+
+// The epoch scheduler. A single batcher goroutine drains the request
+// queues into epoch plans — a write epoch is a maximal same-op run of
+// the write FIFO, a read epoch groups one deduplicated sub-batch per
+// read op — and runs the host-side preparation (Index.PrepareBatch) for
+// each sub-batch. A single executor goroutine consumes plans in
+// formation order and runs them on the index, so the committed epoch
+// order IS the formation order, and while the executor drives epoch k's
+// PIM rounds the batcher is already hashing and sorting epoch k+1: the
+// two-stage host/PIM pipeline.
+//
+// Consistency: the index is only touched by the executor, epochs never
+// interleave, reads and writes never share an epoch, and cache-served
+// reads are only admitted when their entry's write-epoch stamp is
+// current — so every response equals a serial replay of the committed
+// epoch order.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+)
+
+// call is one admitted request.
+type call struct {
+	op     Op
+	keys   []Key
+	values []uint64 // OpInsert only
+	fut    *future
+	enq    time.Time
+	slots  []int     // read epochs: per key, index into the sub-batch's unique keys
+	rec    *OpRecord // history record, nil unless recording
+}
+
+// readBatch is one read epoch's deduplicated sub-batch for a single op.
+type readBatch struct {
+	calls []*call
+	uniq  []Key
+	dups  []int // per unique key: how many admitted requests asked for it
+	prep  *pimtrie.PreparedBatch
+}
+
+// epochPlan is one formed epoch, handed from batcher to executor.
+type epochPlan struct {
+	write bool
+	// Read epoch: sub-batches indexed by OpGet/OpLCP/OpSubtree.
+	reads [3]readBatch
+	// Write epoch: calls in arrival order and their concatenation.
+	op     Op
+	calls  []*call
+	keys   []Key
+	values []uint64
+	prep   *pimtrie.PreparedBatch
+	// stamp is the write-epoch counter at formation: the number of write
+	// epochs ordered before this one. Read results executed under this
+	// stamp fill the cache with it.
+	stamp uint64
+}
+
+// Server fronts a pimtrie.Index with the concurrent serving layer; see
+// the package comment. Construct with NewServer, stop with Close.
+type Server struct {
+	ix   *pimtrie.Index
+	opts Options
+
+	mu           sync.Mutex
+	readQ        [3][]*call // per read op FIFO
+	writeQ       []*call    // mixed insert/delete FIFO, arrival order
+	closed       bool
+	formedWrites uint64 // write epochs formed so far
+	cache        *hotCache
+	hist         []*EpochRecord
+	stats        Stats
+	idBuf        []byte // scratch for appendKeyID, reused under mu
+
+	kick     chan struct{} // batcher wake-up, capacity 1
+	closedCh chan struct{}
+	plans    chan *epochPlan
+	demand   chan struct{} // executor's request for the next plan
+	wg       sync.WaitGroup
+}
+
+// NewServer starts the serving layer over ix. The Server owns all
+// index execution from now on: direct Index batch calls concurrent with
+// a live Server panic by design (the index's single-flight guard).
+func NewServer(ix *pimtrie.Index, opts Options) *Server {
+	s := &Server{
+		ix:       ix,
+		opts:     opts.withDefaults(),
+		kick:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	if s.opts.CacheSize > 0 {
+		s.cache = newHotCache(s.opts.CacheSize)
+	}
+	if !s.opts.NoPipeline {
+		// Formation is demand-paced: the executor emits one demand token
+		// when it starts an epoch, and the batcher forms exactly one plan
+		// per token. Epoch k+1 is therefore formed (and host-prepared,
+		// overlapping k's PIM rounds) from everything queued at the moment
+		// k starts — one full wave of arrivals. Forming any earlier
+		// fragments waves into small epochs that then persist: each epoch's
+		// completers resubmit together, so epoch sizes are self-reproducing
+		// and the pipeline would inherit its startup fragmentation forever.
+		s.plans = make(chan *epochPlan)
+		s.demand = make(chan struct{}, 1)
+		s.demand <- struct{}{}
+		s.wg.Add(1)
+		go s.executor()
+	}
+	s.wg.Add(1)
+	go s.batcher()
+	return s
+}
+
+// Close drains every queued request, waits for the final epoch to
+// commit, and stops the scheduler goroutines. Requests submitted after
+// Close fail with ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closedCh)
+	}
+	s.mu.Unlock()
+	s.kickBatcher()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// History returns the committed epoch records (Options.RecordHistory).
+// Call after Close; records of uncommitted epochs have unfilled
+// responses until their futures resolve.
+func (s *Server) History() []*EpochRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hist
+}
+
+func (s *Server) kickBatcher() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// submit admits one request: resolve trivially, serve from cache, or
+// enqueue for the batcher.
+func (s *Server) submit(op Op, keys []Key, values []uint64) *future {
+	f := newFuture()
+	if len(keys) == 0 {
+		s.resolveEmpty(op, f)
+		return f
+	}
+	c := &call{op: op, keys: keys, values: values, fut: f, enq: time.Now()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		f.fail(ErrClosed)
+		return f
+	}
+	s.stats.Requests[op]++
+	s.stats.KeysRequested[op] += uint64(len(keys))
+	if op.isRead() && s.cache != nil && (op == OpGet || op == OpLCP) {
+		if s.tryCacheLocked(c) {
+			s.mu.Unlock()
+			return f
+		}
+		s.stats.CacheMisses++
+	}
+	if op.isRead() {
+		s.readQ[op] = append(s.readQ[op], c)
+	} else {
+		s.writeQ = append(s.writeQ, c)
+	}
+	s.mu.Unlock()
+	s.kickBatcher()
+	return f
+}
+
+func (s *Server) resolveEmpty(op Op, f *future) {
+	switch op {
+	case OpGet:
+		f.vals, f.found = []uint64{}, []bool{}
+	case OpLCP:
+		f.ints = []int{}
+	case OpSubtree:
+		f.kvs = [][]KV{}
+	case OpDelete:
+		f.found = []bool{}
+	}
+	close(f.done)
+}
+
+// tryCacheLocked serves c entirely from the hot-key cache if every key
+// hits with a current write-epoch stamp. A cache-served read commits
+// logically as its own read epoch at the current point of the serial
+// order (after every formed write epoch, before any later one), which
+// is exactly the state its cached values reflect. Probing is
+// allocation-free until every key has hit.
+func (s *Server) tryCacheLocked(c *call) bool {
+	var stack [4]cacheVal
+	hits := stack[:0]
+	if len(c.keys) > len(stack) {
+		hits = make([]cacheVal, 0, len(c.keys))
+	}
+	for _, k := range c.keys {
+		s.idBuf = appendKeyID(s.idBuf[:0], k)
+		e, ok := s.cache.get(c.op, s.idBuf, s.formedWrites)
+		if !ok {
+			return false
+		}
+		hits = append(hits, e)
+	}
+	s.stats.CacheHits++
+	if c.op == OpGet {
+		vals := make([]uint64, len(hits))
+		found := make([]bool, len(hits))
+		for i, e := range hits {
+			vals[i], found[i] = e.value, e.found
+		}
+		c.fut.vals, c.fut.found = vals, found
+	} else {
+		ints := make([]int, len(hits))
+		for i, e := range hits {
+			ints[i] = e.lcp
+		}
+		c.fut.ints = ints
+	}
+	if s.opts.RecordHistory {
+		rec := &OpRecord{Op: c.op, Keys: c.keys, Cached: true}
+		if c.op == OpGet {
+			rec.Vals, rec.Found = c.fut.vals, c.fut.found
+		} else {
+			rec.LCPs = c.fut.ints
+		}
+		s.hist = append(s.hist, &EpochRecord{Ops: []*OpRecord{rec}})
+	}
+	close(c.fut.done)
+	return true
+}
+
+// batcher is pipeline stage A: await executor demand, form the next
+// epoch, run its host-side preparation, hand it to the executor.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	for {
+		if s.plans != nil && !s.awaitDemand() {
+			// Closed: stop pacing on demand and just drain the queues.
+		}
+		plan := s.nextPlan()
+		if plan == nil {
+			if s.plans != nil {
+				close(s.plans)
+			}
+			return
+		}
+		s.prepare(plan)
+		if s.plans != nil {
+			s.plans <- plan
+		} else {
+			s.execute(plan)
+		}
+	}
+}
+
+// awaitDemand blocks until the executor asks for the next plan; it
+// returns false once the server is closed (drain mode: form as fast as
+// the unbuffered plans channel allows).
+func (s *Server) awaitDemand() bool {
+	select {
+	case <-s.demand:
+		return true
+	case <-s.closedCh:
+		return false
+	}
+}
+
+// executor is pipeline stage B: run each plan on the index in formation
+// order. Demand for plan k+1 is signalled as k starts, so the batcher
+// forms and prepares k+1 while k's PIM rounds run.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for plan := range s.plans {
+		select {
+		case s.demand <- struct{}{}:
+		default:
+		}
+		s.execute(plan)
+	}
+}
+
+// pendingLocked reports queued requests and the arrival time of the
+// oldest one.
+func (s *Server) pendingLocked() (n int, oldest time.Time) {
+	first := true
+	note := func(q []*call) {
+		n += len(q)
+		if len(q) > 0 && (first || q[0].enq.Before(oldest)) {
+			oldest, first = q[0].enq, false
+		}
+	}
+	for op := range s.readQ {
+		note(s.readQ[op])
+	}
+	note(s.writeQ)
+	return n, oldest
+}
+
+// fullLocked reports whether any queue already holds a full epoch's
+// worth of keys, which cuts the linger short.
+func (s *Server) fullLocked() bool {
+	count := func(q []*call) int {
+		n := 0
+		for _, c := range q {
+			n += len(c.keys)
+		}
+		return n
+	}
+	for op := range s.readQ {
+		if count(s.readQ[op]) >= s.opts.MaxBatch {
+			return true
+		}
+	}
+	return count(s.writeQ) >= s.opts.MaxBatch
+}
+
+// nextPlan blocks until requests are pending (respecting the linger
+// policy), then forms the next epoch. It returns nil when the server is
+// closed and fully drained.
+func (s *Server) nextPlan() *epochPlan {
+	for {
+		s.mu.Lock()
+		n, oldest := s.pendingLocked()
+		if n == 0 {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			select {
+			case <-s.kick:
+			case <-s.closedCh:
+			}
+			continue
+		}
+		if s.opts.MaxLinger > 0 && !s.closed && !s.fullLocked() {
+			wait := s.opts.MaxLinger - time.Since(oldest)
+			if wait > 0 {
+				s.mu.Unlock()
+				t := time.NewTimer(wait)
+				select {
+				case <-s.kick: // new arrival: a queue may be full now
+				case <-t.C:
+				case <-s.closedCh:
+				}
+				t.Stop()
+				continue
+			}
+		}
+		plan := s.formLocked()
+		s.mu.Unlock()
+		return plan
+	}
+}
+
+// formLocked removes the next epoch's requests from the queues. Side
+// choice is oldest-first between the read side and the write side, so
+// neither starves.
+func (s *Server) formLocked() *epochPlan {
+	var oldestRead, oldestWrite time.Time
+	haveRead := false
+	for op := range s.readQ {
+		if q := s.readQ[op]; len(q) > 0 && (!haveRead || q[0].enq.Before(oldestRead)) {
+			oldestRead, haveRead = q[0].enq, true
+		}
+	}
+	haveWrite := len(s.writeQ) > 0
+	if haveWrite {
+		oldestWrite = s.writeQ[0].enq
+	}
+	if haveWrite && (!haveRead || oldestWrite.Before(oldestRead)) {
+		return s.formWriteLocked()
+	}
+	return s.formReadLocked()
+}
+
+// formWriteLocked takes the maximal same-op prefix of the write FIFO,
+// capped at MaxBatch keys (always at least one request).
+func (s *Server) formWriteLocked() *epochPlan {
+	op := s.writeQ[0].op
+	plan := &epochPlan{write: true, op: op}
+	total := 0
+	i := 0
+	for ; i < len(s.writeQ) && s.writeQ[i].op == op; i++ {
+		c := s.writeQ[i]
+		if total > 0 && total+len(c.keys) > s.opts.MaxBatch {
+			break
+		}
+		total += len(c.keys)
+		plan.calls = append(plan.calls, c)
+		plan.keys = append(plan.keys, c.keys...)
+		if op == OpInsert {
+			plan.values = append(plan.values, c.values...)
+		}
+	}
+	s.writeQ = append(s.writeQ[:0], s.writeQ[i:]...)
+	s.formedWrites++
+	plan.stamp = s.formedWrites
+	s.stats.WriteEpochs++
+	s.noteExecutedLocked(op, len(plan.keys))
+	if s.opts.RecordHistory {
+		rec := &EpochRecord{Write: true}
+		for _, c := range plan.calls {
+			c.rec = &OpRecord{Op: op, Keys: c.keys, Values: c.values}
+			rec.Ops = append(rec.Ops, c.rec)
+		}
+		s.hist = append(s.hist, rec)
+	}
+	return plan
+}
+
+// formReadLocked drains up to MaxBatch unique keys per read op into one
+// epoch, deduplicating identical keys within each sub-batch
+// (singleflight): every request records, per key, the slot of its
+// unique representative.
+func (s *Server) formReadLocked() *epochPlan {
+	plan := &epochPlan{stamp: s.formedWrites}
+	var rec *EpochRecord
+	if s.opts.RecordHistory {
+		rec = &EpochRecord{}
+	}
+	for op := 0; op < 3; op++ {
+		q := s.readQ[op]
+		if len(q) == 0 {
+			continue
+		}
+		rb := &plan.reads[op]
+		slot := make(map[string]int, len(q))
+		// Slab the per-call slot slices: one allocation per sub-batch.
+		nkeys := 0
+		for _, c := range q {
+			nkeys += len(c.keys)
+		}
+		slab := make([]int, nkeys)
+		i := 0
+		for ; i < len(q); i++ {
+			c := q[i]
+			if len(rb.uniq) > 0 && len(rb.uniq)+len(c.keys) > s.opts.MaxBatch {
+				break // admit calls whole; keys of one call stay in one epoch
+			}
+			c.slots = slab[:len(c.keys):len(c.keys)]
+			slab = slab[len(c.keys):]
+			for j, k := range c.keys {
+				s.idBuf = appendKeyID(s.idBuf[:0], k)
+				si, ok := slot[string(s.idBuf)]
+				if !ok {
+					si = len(rb.uniq)
+					slot[string(s.idBuf)] = si
+					rb.uniq = append(rb.uniq, k)
+					rb.dups = append(rb.dups, 0)
+				}
+				rb.dups[si]++
+				c.slots[j] = si
+			}
+			rb.calls = append(rb.calls, c)
+			if rec != nil {
+				c.rec = &OpRecord{Op: Op(op), Keys: c.keys}
+				rec.Ops = append(rec.Ops, c.rec)
+			}
+		}
+		s.readQ[op] = append(q[:0], q[i:]...)
+		s.noteExecutedLocked(Op(op), len(rb.uniq))
+	}
+	s.stats.ReadEpochs++
+	if rec != nil {
+		s.hist = append(s.hist, rec)
+	}
+	return plan
+}
+
+func (s *Server) noteExecutedLocked(op Op, uniq int) {
+	s.stats.KeysExecuted[op] += uint64(uniq)
+	if uniq > s.stats.MaxEpochKeys {
+		s.stats.MaxEpochKeys = uniq
+	}
+}
+
+// prepare runs the host-side phase-A preparation of every sub-batch in
+// the plan — the work this layer overlaps with the previous epoch's PIM
+// rounds. PrepareBatch is the one Index method that is safe to call
+// while another batch executes.
+func (s *Server) prepare(plan *epochPlan) {
+	if plan.write {
+		plan.prep = s.ix.PrepareBatch(plan.keys)
+		return
+	}
+	for op := range plan.reads {
+		if rb := &plan.reads[op]; len(rb.uniq) > 0 {
+			rb.prep = s.ix.PrepareBatch(rb.uniq)
+		}
+	}
+}
+
+// execute commits one epoch on the index and distributes results. An
+// index panic (e.g. an unrecoverable injected fault) fails the epoch's
+// futures instead of killing the scheduler.
+func (s *Server) execute(plan *epochPlan) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: index failure: %v", r)
+			if plan.write {
+				for _, c := range plan.calls {
+					c.fut.fail(err)
+				}
+				return
+			}
+			for op := range plan.reads {
+				for _, c := range plan.reads[op].calls {
+					c.fut.fail(err)
+				}
+			}
+		}
+	}()
+	if plan.write {
+		s.executeWrite(plan)
+		return
+	}
+	s.executeRead(plan)
+}
+
+func (s *Server) executeWrite(plan *epochPlan) {
+	switch plan.op {
+	case OpInsert:
+		s.ix.InsertPrepared(plan.prep, plan.values)
+		for _, c := range plan.calls {
+			close(c.fut.done)
+		}
+	case OpDelete:
+		found := s.ix.DeletePrepared(plan.prep)
+		off := 0
+		for _, c := range plan.calls {
+			c.fut.found = found[off : off+len(c.keys) : off+len(c.keys)]
+			if c.rec != nil {
+				c.rec.Found = c.fut.found
+			}
+			off += len(c.keys)
+			close(c.fut.done)
+		}
+	}
+}
+
+// slabKeys sums the requested key counts of a sub-batch's calls, so
+// result distribution can carve per-call views out of one allocation.
+func slabKeys(calls []*call) int {
+	n := 0
+	for _, c := range calls {
+		n += len(c.keys)
+	}
+	return n
+}
+
+func (s *Server) executeRead(plan *epochPlan) {
+	if rb := &plan.reads[OpGet]; len(rb.uniq) > 0 {
+		vals, found := s.ix.GetPrepared(rb.prep)
+		s.fillCache(OpGet, rb, plan.stamp, vals, found, nil)
+		nslab := slabKeys(rb.calls)
+		vslab := make([]uint64, nslab)
+		fslab := make([]bool, nslab)
+		for _, c := range rb.calls {
+			n := len(c.keys)
+			c.fut.vals, vslab = vslab[:n:n], vslab[n:]
+			c.fut.found, fslab = fslab[:n:n], fslab[n:]
+			for j, si := range c.slots {
+				c.fut.vals[j], c.fut.found[j] = vals[si], found[si]
+			}
+			if c.rec != nil {
+				c.rec.Vals, c.rec.Found = c.fut.vals, c.fut.found
+			}
+			close(c.fut.done)
+		}
+	}
+	if rb := &plan.reads[OpLCP]; len(rb.uniq) > 0 {
+		lcps := s.ix.LCPPrepared(rb.prep)
+		s.fillCache(OpLCP, rb, plan.stamp, nil, nil, lcps)
+		islab := make([]int, slabKeys(rb.calls))
+		for _, c := range rb.calls {
+			n := len(c.keys)
+			c.fut.ints, islab = islab[:n:n], islab[n:]
+			for j, si := range c.slots {
+				c.fut.ints[j] = lcps[si]
+			}
+			if c.rec != nil {
+				c.rec.LCPs = c.fut.ints
+			}
+			close(c.fut.done)
+		}
+	}
+	if rb := &plan.reads[OpSubtree]; len(rb.uniq) > 0 {
+		kvs := s.ix.SubtreesPrepared(rb.prep)
+		for _, c := range rb.calls {
+			c.fut.kvs = make([][]KV, len(c.keys))
+			for j, si := range c.slots {
+				c.fut.kvs[j] = kvs[si]
+			}
+			if c.rec != nil {
+				c.rec.KVs = c.fut.kvs
+			}
+			close(c.fut.done)
+		}
+	}
+}
+
+// fillCache stores executed read results under the epoch's write stamp.
+// If a write epoch formed after this read epoch, the stamp is already
+// stale and the entries will simply never hit — correctness never
+// depends on the cache. Admission is skew-aware: once the cache is
+// full, only keys the epoch proved hot — requested more than once, so
+// the singleflight dedupe collapsed them — may displace an entry.
+// Without that rule every large epoch floods the cache with cold keys
+// and evicts the hot set it exists for.
+func (s *Server) fillCache(op Op, rb *readBatch, stamp uint64, vals []uint64, found []bool, lcps []int) {
+	if s.cache == nil {
+		return
+	}
+	s.mu.Lock()
+	for i, k := range rb.uniq {
+		s.idBuf = appendKeyID(s.idBuf[:0], k)
+		if !s.cache.admit(op, s.idBuf, rb.dups[i] > 1) {
+			continue
+		}
+		e := cacheVal{stamp: stamp}
+		if op == OpGet {
+			e.value, e.found = vals[i], found[i]
+		} else {
+			e.lcp = lcps[i]
+		}
+		s.cache.put(op, s.idBuf, e, s.formedWrites)
+	}
+	s.mu.Unlock()
+}

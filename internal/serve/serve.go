@@ -1,0 +1,269 @@
+// Package serve is the concurrent serving layer in front of a
+// pimtrie.Index. The index is strictly single-caller — batches are the
+// unit of parallelism, exactly as in the paper's model — so a system
+// serving many concurrent clients needs a front-end that turns small
+// asynchronous requests into the large, well-shaped batches the
+// algorithm (and the PIM Model's IO-time bounds) rewards. Server
+// provides that front-end:
+//
+//   - Admission/coalescing: single- and multi-key async requests (Get,
+//     LCP, Subtree, Insert, Delete) are queued per op type and coalesced
+//     into batches under a max-batch-size / max-linger policy.
+//   - Read/write epochs: reads from one epoch are grouped and
+//     deduplicated together (singleflight on identical in-flight keys);
+//     mutations form ordered write epochs that fence reads. Every
+//     response is consistent with the serial order of committed epochs.
+//   - Host/PIM pipelining: the host-side preparation of epoch k+1
+//     (query-trie construction, sorting, hashing — Index.PrepareBatch)
+//     overlaps with the PIM rounds of epoch k in a two-stage pipeline.
+//   - Hot-key cache (opt-in): read results are cached and invalidated by
+//     the write-epoch counter, so Zipfian traffic short-circuits before
+//     touching the simulator.
+//
+// Model metrics for any individual executed batch are bit-identical to
+// direct Index calls on the same batch; the serving layer changes which
+// batches run and overlaps wall-clock work, never the per-batch model
+// cost.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+)
+
+// Key and KV alias the index's key types.
+type (
+	Key = pimtrie.Key
+	KV  = pimtrie.KV
+)
+
+// ErrClosed is reported by requests submitted after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Op identifies a request type.
+type Op int
+
+// The five request types, in queue order.
+const (
+	OpGet Op = iota
+	OpLCP
+	OpSubtree
+	OpInsert
+	OpDelete
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpLCP:
+		return "lcp"
+	case OpSubtree:
+		return "subtree"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return "op?"
+}
+
+// isRead reports whether the op leaves the index unchanged.
+func (o Op) isRead() bool { return o == OpGet || o == OpLCP || o == OpSubtree }
+
+// Options configures a Server. The zero value serves with the defaults
+// noted on each field.
+type Options struct {
+	// MaxBatch bounds the unique keys per executed sub-batch (default
+	// 1024).
+	MaxBatch int
+	// MaxLinger bounds how long the batcher holds a non-full epoch open
+	// for more requests before dispatching it. The default 0 dispatches as
+	// soon as the executor frees up; coalescing then comes purely from
+	// executor backpressure, adding no idle latency.
+	MaxLinger time.Duration
+	// CacheSize enables the hot-key read cache with room for that many
+	// entries (default 0: disabled). Cached Get/LCP results are stamped
+	// with the write-epoch counter and invalidated by any later write
+	// epoch.
+	CacheSize int
+	// NoPipeline disables the two-stage host pipeline; epoch formation,
+	// host preparation and index execution then share one goroutine.
+	NoPipeline bool
+	// RecordHistory retains the committed epoch order together with every
+	// request's inputs and responses so tests can replay it against a
+	// serial oracle. Memory grows without bound; testing only.
+	RecordHistory bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	return o
+}
+
+// Stats are cumulative serving counters, indexed by Op where per-op.
+type Stats struct {
+	// Requests counts admitted requests (calls, not keys) per op.
+	Requests [numOps]uint64
+	// KeysRequested counts keys across admitted requests per op.
+	KeysRequested [numOps]uint64
+	// KeysExecuted counts unique keys actually sent to the index per op —
+	// the difference to KeysRequested is singleflight dedupe plus cache
+	// short-circuits.
+	KeysExecuted [numOps]uint64
+	// ReadEpochs and WriteEpochs count committed epochs by kind.
+	ReadEpochs, WriteEpochs uint64
+	// CacheHits counts read requests served entirely from the hot-key
+	// cache; CacheMisses counts read requests that reached the queues.
+	CacheHits, CacheMisses uint64
+	// MaxEpochKeys is the largest unique-key count of any executed
+	// sub-batch.
+	MaxEpochKeys int
+}
+
+// future carries one request's results; resolved exactly once by the
+// executor (or at admission, for cache hits and trivial requests).
+type future struct {
+	done  chan struct{}
+	err   error
+	ints  []int
+	vals  []uint64
+	found []bool
+	kvs   [][]KV
+}
+
+func newFuture() *future { return &future{done: make(chan struct{})} }
+
+func (f *future) fail(err error) {
+	f.err = err
+	close(f.done)
+}
+
+// GetFuture is the handle of an in-flight Get request.
+type GetFuture struct{ f *future }
+
+// Wait blocks until the request is served: values[i], found[i] answer
+// the i-th requested key.
+func (g *GetFuture) Wait() (values []uint64, found []bool, err error) {
+	<-g.f.done
+	return g.f.vals, g.f.found, g.f.err
+}
+
+// LCPFuture is the handle of an in-flight LCP request.
+type LCPFuture struct{ f *future }
+
+// Wait blocks until the request is served: lcps[i] answers the i-th
+// requested key.
+func (l *LCPFuture) Wait() (lcps []int, err error) {
+	<-l.f.done
+	return l.f.ints, l.f.err
+}
+
+// SubtreeFuture is the handle of an in-flight Subtree request.
+type SubtreeFuture struct{ f *future }
+
+// Wait blocks until the request is served: results[i] holds the stored
+// pairs extending the i-th requested prefix, in lexicographic order.
+// Result slices may be shared with concurrent duplicate requests; treat
+// them as read-only.
+func (s *SubtreeFuture) Wait() (results [][]KV, err error) {
+	<-s.f.done
+	return s.f.kvs, s.f.err
+}
+
+// InsertFuture is the handle of an in-flight Insert request.
+type InsertFuture struct{ f *future }
+
+// Wait blocks until the mutation's epoch has committed.
+func (i *InsertFuture) Wait() error {
+	<-i.f.done
+	return i.f.err
+}
+
+// DeleteFuture is the handle of an in-flight Delete request.
+type DeleteFuture struct{ f *future }
+
+// Wait blocks until the mutation's epoch has committed: found[i]
+// reports whether the i-th requested key was present (duplicates report
+// true once, matching sequential deletion in epoch order).
+func (d *DeleteFuture) Wait() (found []bool, err error) {
+	<-d.f.done
+	return d.f.found, d.f.err
+}
+
+// GetAsync enqueues an exact-lookup request for the given keys.
+func (s *Server) GetAsync(keys ...Key) *GetFuture {
+	return &GetFuture{f: s.submit(OpGet, keys, nil)}
+}
+
+// LCPAsync enqueues a longest-common-prefix request for the given keys.
+func (s *Server) LCPAsync(keys ...Key) *LCPFuture {
+	return &LCPFuture{f: s.submit(OpLCP, keys, nil)}
+}
+
+// SubtreeAsync enqueues a prefix-scan request for the given prefixes.
+func (s *Server) SubtreeAsync(prefixes ...Key) *SubtreeFuture {
+	return &SubtreeFuture{f: s.submit(OpSubtree, prefixes, nil)}
+}
+
+// InsertAsync enqueues a mutation storing the given pairs; it panics if
+// the slices disagree in length. Duplicates resolve in epoch order,
+// later writes winning.
+func (s *Server) InsertAsync(keys []Key, values []uint64) *InsertFuture {
+	if len(keys) != len(values) {
+		panic("serve: InsertAsync keys/values length mismatch")
+	}
+	return &InsertFuture{f: s.submit(OpInsert, keys, values)}
+}
+
+// DeleteAsync enqueues a mutation removing the given keys.
+func (s *Server) DeleteAsync(keys ...Key) *DeleteFuture {
+	return &DeleteFuture{f: s.submit(OpDelete, keys, nil)}
+}
+
+// Get is the blocking single-key convenience form of GetAsync.
+func (s *Server) Get(key Key) (value uint64, found bool, err error) {
+	vals, fnd, err := s.GetAsync(key).Wait()
+	if err != nil {
+		return 0, false, err
+	}
+	return vals[0], fnd[0], nil
+}
+
+// LCP is the blocking single-key convenience form of LCPAsync.
+func (s *Server) LCP(key Key) (int, error) {
+	lcps, err := s.LCPAsync(key).Wait()
+	if err != nil {
+		return 0, err
+	}
+	return lcps[0], nil
+}
+
+// Subtree is the blocking single-prefix convenience form of
+// SubtreeAsync.
+func (s *Server) Subtree(prefix Key) ([]KV, error) {
+	res, err := s.SubtreeAsync(prefix).Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Insert is the blocking single-pair convenience form of InsertAsync.
+func (s *Server) Insert(key Key, value uint64) error {
+	return s.InsertAsync([]Key{key}, []uint64{value}).Wait()
+}
+
+// Delete is the blocking single-key convenience form of DeleteAsync.
+func (s *Server) Delete(key Key) (found bool, err error) {
+	fnd, err := s.DeleteAsync(key).Wait()
+	if err != nil {
+		return false, err
+	}
+	return fnd[0], nil
+}

@@ -181,3 +181,47 @@ func (g *Gen) IPv4Prefixes(n int) []bitstr.String {
 func ZipfExponentForSkew(knob float64) float64 {
 	return 1.01 + 2*math.Min(1, math.Max(0, knob))
 }
+
+// KeyStream draws stored keys one at a time: the per-client request
+// stream of the serving benchmarks. With zipfS > 0 keys follow a
+// Zipfian frequency over a rank permutation (exponents ≤ 1 are
+// clamped to 1.01, the smallest rand.NewZipf accepts, so "Zipf(1.0)"
+// requests the classic near-harmonic skew); with zipfS = 0 keys are
+// uniform. The rank permutation is seeded independently of the draw
+// seed, so hotness is a property of the key population: streams with
+// different seeds draw independently but agree on which keys are hot,
+// the way concurrent clients of one skewed store do. Streams with
+// equal inputs replay identically.
+type KeyStream struct {
+	keys []bitstr.String
+	perm []int
+	r    *rand.Rand
+	z    *rand.Zipf
+}
+
+// NewKeyStream builds a stream over keys. It panics if keys is empty.
+func NewKeyStream(keys []bitstr.String, seed int64, zipfS float64) *KeyStream {
+	if len(keys) == 0 {
+		panic("workload: NewKeyStream with no keys")
+	}
+	r := rand.New(rand.NewSource(seed))
+	ks := &KeyStream{keys: keys, r: r}
+	if zipfS > 0 {
+		if zipfS <= 1 {
+			zipfS = 1.01
+		}
+		ks.z = rand.NewZipf(r, zipfS, 1, uint64(len(keys)-1))
+		// Decouple rank from insertion order with a permutation all
+		// streams over this population share regardless of their seed.
+		ks.perm = rand.New(rand.NewSource(int64(len(keys)))).Perm(len(keys))
+	}
+	return ks
+}
+
+// Next returns the stream's next key.
+func (ks *KeyStream) Next() bitstr.String {
+	if ks.z == nil {
+		return ks.keys[ks.r.Intn(len(ks.keys))]
+	}
+	return ks.keys[ks.perm[ks.z.Uint64()]]
+}

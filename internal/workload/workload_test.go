@@ -184,3 +184,33 @@ func TestZipfExponentForSkew(t *testing.T) {
 		t.Fatal("knob not clamped")
 	}
 }
+
+func TestKeyStream(t *testing.T) {
+	keys := New(1).FixedLen(200, 64)
+	// Determinism: equal inputs replay identically.
+	a, b := NewKeyStream(keys, 9, 1.0), NewKeyStream(keys, 9, 1.0)
+	for i := 0; i < 500; i++ {
+		if !bitstr.Equal(a.Next(), b.Next()) {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+	// Zipf(1.0) clamps rather than panicking and concentrates mass:
+	// the hottest key should dominate a uniform stream's hottest key.
+	count := func(s *KeyStream, n int) int {
+		freq := map[string]int{}
+		max := 0
+		for i := 0; i < n; i++ {
+			k := s.Next().String()
+			freq[k]++
+			if freq[k] > max {
+				max = freq[k]
+			}
+		}
+		return max
+	}
+	zhot := count(NewKeyStream(keys, 3, 1.0), 4000)
+	uhot := count(NewKeyStream(keys, 3, 0), 4000)
+	if zhot < 3*uhot {
+		t.Fatalf("Zipf stream not skewed: hottest %d vs uniform hottest %d", zhot, uhot)
+	}
+}

@@ -106,11 +106,25 @@ type Metrics = pim.Metrics
 
 // Index is a PIM-trie over a simulated PIM system. It is not safe for
 // concurrent use: batches are the unit of parallelism, exactly as in the
-// paper's model.
+// paper's model, and the per-batch scratch pooled on the index is owned
+// by exactly one executing batch at a time. Concurrent batch calls are
+// detected and panic immediately rather than corrupting state; to serve
+// concurrent single-key traffic, front the Index with serve.Server,
+// which coalesces requests into batches and serializes execution. The
+// one exception is PrepareBatch, which is explicitly safe to run
+// concurrently with an executing batch (it is the pipeline stage the
+// serving layer overlaps with PIM rounds).
 type Index struct {
 	sys  *pim.System
 	core *core.PIMTrie
 }
+
+// PreparedBatch is a host-side precomputation of one batch (its query
+// trie and node hashes), produced by PrepareBatch and consumed by the
+// *Prepared operation variants. It is valid for a single consumption on
+// the index that prepared it; if the index re-hashed in between, the
+// consuming operation transparently re-prepares inline.
+type PreparedBatch = core.Prepared
 
 // New creates an empty index over p PIM modules. It panics if p < 1.
 func New(p int, opts Options) *Index {
@@ -174,6 +188,39 @@ func (ix *Index) Subtree(prefix Key) []KV { return ix.core.SubtreeQuery(prefix) 
 func (ix *Index) Subtrees(prefixes []Key) [][]KV {
 	return ix.core.SubtreeQueryBatch(prefixes)
 }
+
+// PrepareBatch precomputes the host-side query trie and node hashes for
+// a batch without executing anything on the simulated system. Unlike
+// every other Index method, PrepareBatch is safe to call concurrently
+// with an executing batch: the serving layer uses it to overlap the
+// host prep of batch k+1 with the PIM rounds of batch k. Consume the
+// result with LCPPrepared, GetPrepared, SubtreesPrepared,
+// InsertPrepared or DeletePrepared; model metrics of the consuming call
+// are bit-identical to the plain variant on the same batch.
+func (ix *Index) PrepareBatch(batch []Key) *PreparedBatch { return ix.core.Prepare(batch) }
+
+// LCPPrepared is LCP over a batch staged with PrepareBatch.
+func (ix *Index) LCPPrepared(p *PreparedBatch) []int { return ix.core.LCPPrepared(p) }
+
+// GetPrepared is Get over a batch staged with PrepareBatch.
+func (ix *Index) GetPrepared(p *PreparedBatch) (values []uint64, found []bool) {
+	return ix.core.GetPrepared(p)
+}
+
+// SubtreesPrepared is Subtrees over a prefix batch staged with
+// PrepareBatch.
+func (ix *Index) SubtreesPrepared(p *PreparedBatch) [][]KV {
+	return ix.core.SubtreeQueryPrepared(p)
+}
+
+// InsertPrepared is Insert over a key batch staged with PrepareBatch;
+// values[i] pairs with the staged batch's i-th key.
+func (ix *Index) InsertPrepared(p *PreparedBatch, values []uint64) {
+	ix.core.InsertPrepared(p, values)
+}
+
+// DeletePrepared is Delete over a key batch staged with PrepareBatch.
+func (ix *Index) DeletePrepared(p *PreparedBatch) []bool { return ix.core.DeletePrepared(p) }
 
 // Len returns the number of stored keys.
 func (ix *Index) Len() int { return ix.core.KeyCount() }
