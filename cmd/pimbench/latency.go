@@ -7,16 +7,22 @@ package main
 import (
 	"sort"
 	"time"
+
+	"github.com/pimlab/pimtrie/internal/metrics"
 )
 
 // LatencySummary is the percentile digest of one benchmark's or one
-// serving scenario's latency samples, in nanoseconds.
+// serving scenario's latency samples, in nanoseconds. Percentiles use
+// the same nearest-rank rule as the live histogram quantiles
+// (metrics.NearestRank), so offline reports and /varz digests of the
+// same run cannot disagree on semantics.
 type LatencySummary struct {
-	Count int     `json:"count"`
-	P50Ns float64 `json:"p50_ns"`
-	P95Ns float64 `json:"p95_ns"`
-	P99Ns float64 `json:"p99_ns"`
-	MaxNs float64 `json:"max_ns"`
+	Count  int     `json:"count"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	MaxNs  float64 `json:"max_ns"`
 }
 
 // latencyRecorder collects raw duration samples. Not safe for
@@ -50,14 +56,14 @@ func (l *latencyRecorder) summary() LatencySummary {
 	}
 	sort.Slice(l.samples, func(a, b int) bool { return l.samples[a] < l.samples[b] })
 	rank := func(q float64) float64 {
-		i := int(q * float64(n-1))
-		return float64(l.samples[i].Nanoseconds())
+		return float64(l.samples[metrics.NearestRank(n, q)].Nanoseconds())
 	}
 	return LatencySummary{
-		Count: n,
-		P50Ns: rank(0.50),
-		P95Ns: rank(0.95),
-		P99Ns: rank(0.99),
-		MaxNs: float64(l.samples[n-1].Nanoseconds()),
+		Count:  n,
+		P50Ns:  rank(0.50),
+		P95Ns:  rank(0.95),
+		P99Ns:  rank(0.99),
+		P999Ns: rank(0.999),
+		MaxNs:  rank(1),
 	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencySummaryEdges pins the nearest-rank percentile semantics,
+// including the tiny-sample and p100 edges the previous truncation rule
+// got wrong (a p95 of 10 samples must be the maximum, not the 9th).
+func TestLatencySummaryEdges(t *testing.T) {
+	mk := func(ns ...int64) *latencyRecorder {
+		l := &latencyRecorder{}
+		for _, v := range ns {
+			l.observe(time.Duration(v))
+		}
+		return l
+	}
+
+	if s := (&latencyRecorder{}).summary(); s.Count != 0 || s.MaxNs != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+
+	// One sample: every percentile is that sample.
+	s := mk(42).summary()
+	if s.P50Ns != 42 || s.P99Ns != 42 || s.P999Ns != 42 || s.MaxNs != 42 {
+		t.Errorf("n=1 summary = %+v, want all 42", s)
+	}
+
+	// Two samples: p50 is the first (rank ceil(0.5*2)=1), upper tail the
+	// second.
+	s = mk(10, 20).summary()
+	if s.P50Ns != 10 || s.P95Ns != 20 || s.MaxNs != 20 {
+		t.Errorf("n=2 summary = %+v, want p50=10 p95=20 max=20", s)
+	}
+
+	// Three samples: p50 is the middle, p99 the last.
+	s = mk(30, 10, 20).summary()
+	if s.P50Ns != 20 || s.P99Ns != 30 {
+		t.Errorf("n=3 summary = %+v, want p50=20 p99=30", s)
+	}
+
+	// Ten samples: nearest-rank p95 = ceil(9.5) = 10th sample — the old
+	// int(q*(n-1)) rule returned the 9th.
+	vals := make([]int64, 0, 10)
+	for i := int64(1); i <= 10; i++ {
+		vals = append(vals, i*100)
+	}
+	s = mk(vals...).summary()
+	if s.P95Ns != 1000 {
+		t.Errorf("n=10 p95 = %v, want 1000 (nearest rank)", s.P95Ns)
+	}
+	if s.P50Ns != 500 {
+		t.Errorf("n=10 p50 = %v, want 500", s.P50Ns)
+	}
+	if s.MaxNs != 1000 || s.P999Ns != 1000 {
+		t.Errorf("n=10 tail = %+v, want max=p999=1000", s)
+	}
+
+	// Merge gathers every worker's samples before digesting.
+	a, b := mk(1, 2), mk(3)
+	a.merge(b)
+	if s := a.summary(); s.Count != 3 || s.MaxNs != 3 {
+		t.Errorf("merged summary = %+v", s)
+	}
+}

@@ -118,8 +118,30 @@ func main() {
 		lngr  = flag.Duration("linger", 200*time.Microsecond, "-serve: Server max-linger (group-commit window)")
 		cpuP  = flag.String("cpuprofile", "", "write a CPU profile of the run to this path (analyze with go tool pprof)")
 		memP  = flag.String("memprofile", "", "write an allocation profile of the run to this path")
+		maddr = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /varz, /healthz, /debug/pprof) on this address while the run lasts")
 	)
 	flag.Parse()
+
+	var plane *obsPlane
+	if *maddr != "" {
+		pl, ts, err := startTelemetry(*maddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %v\n", err)
+			os.Exit(1)
+		}
+		plane = pl
+		fmt.Printf("telemetry: http://%s/metrics (also /varz, /healthz, /debug/pprof)\n", ts.Addr())
+		defer ts.Close()
+	}
+	if plane != nil && *trace == "" && *srvP == "" {
+		// Outside the serving suite, observe every system the run creates.
+		// -trace claims the hook for the Tracer instead (full round log
+		// beats live counters when both are asked for).
+		pim.SetSystemHook(func(sys *pim.System) {
+			sys.SetRecorder(obs.NewMonitor(plane.reg, sys.P()))
+		})
+		defer pim.SetSystemHook(nil)
+	}
 
 	if *cpuP != "" {
 		f, err := os.Create(*cpuP)
@@ -163,7 +185,7 @@ func main() {
 
 	if *srvP != "" {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
-		if err := runServeSuite(sc, *conc, *depth, *zipfS, *dur, *lngr, *srvP); err != nil {
+		if err := runServeSuite(sc, *conc, *depth, *zipfS, *dur, *lngr, *srvP, plane); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: serve: %v\n", err)
 			os.Exit(1)
 		}

@@ -15,12 +15,15 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/pimlab/pimtrie"
 	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/metrics"
+	"github.com/pimlab/pimtrie/internal/obs"
 	"github.com/pimlab/pimtrie/internal/serve"
 	"github.com/pimlab/pimtrie/internal/workload"
 )
@@ -32,12 +35,15 @@ type ServeScenario struct {
 	OpsPerSec float64        `json:"ops_per_sec"`
 	Latency   LatencySummary `json:"latency"`
 	// Serving-layer counters (zero for the naive baseline).
-	ReadEpochs   uint64  `json:"read_epochs,omitempty"`
-	WriteEpochs  uint64  `json:"write_epochs,omitempty"`
-	AvgEpochKeys float64 `json:"avg_epoch_keys,omitempty"`
-	MaxEpochKeys int     `json:"max_epoch_keys,omitempty"`
-	CacheHits    uint64  `json:"cache_hits,omitempty"`
-	CacheMisses  uint64  `json:"cache_misses,omitempty"`
+	ReadEpochs      uint64  `json:"read_epochs,omitempty"`
+	WriteEpochs     uint64  `json:"write_epochs,omitempty"`
+	AvgEpochKeys    float64 `json:"avg_epoch_keys,omitempty"`
+	MaxEpochKeys    int     `json:"max_epoch_keys,omitempty"`
+	CacheHits       uint64  `json:"cache_hits,omitempty"`
+	CacheMisses     uint64  `json:"cache_misses,omitempty"`
+	CacheAdmissions uint64  `json:"cache_admissions,omitempty"`
+	DedupedKeys     uint64  `json:"deduped_keys,omitempty"`
+	DedupeRatio     float64 `json:"dedupe_ratio,omitempty"`
 }
 
 // ServeReport is the file format of -serve output (BENCH_PR5.json).
@@ -55,15 +61,27 @@ type ServeReport struct {
 	// (coalescing, with or without the hot-key cache) over the naive
 	// one-request-per-batch loop at identical concurrency and skew.
 	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+	// MetricsOverheadPct is the throughput cost of the full telemetry
+	// plane (serve instruments + PIM monitor). A single A/B run is too
+	// noisy to trust on a loaded host, so the suite runs the coalesced
+	// and coalesced+metrics configurations as OverheadPasses interleaved
+	// pairs (order alternating within pairs) and reports 100 x (1 -
+	// median over pairs of ops/sec(metrics)/ops/sec(plain)): pairing
+	// cancels slow host drift, alternation cancels order effects, the
+	// median discards GC/scheduler outliers. Negative values are
+	// residual noise.
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+	OverheadPasses     int     `json:"overhead_passes"`
 }
 
 type serveMode int
 
 const (
-	modeNaive serveMode = iota // mutex + one-key batches, no Server
-	modeServe                  // coalescing Server, cache off
-	modeCache                  // coalescing Server, hot-key cache on
-	modeMixed                  // Server, 90% get / 5% insert / 5% delete
+	modeNaive   serveMode = iota // mutex + one-key batches, no Server
+	modeServe                    // coalescing Server, cache off
+	modeMetrics                  // modeServe plus the full telemetry plane
+	modeCache                    // coalescing Server, hot-key cache on
+	modeMixed                    // Server, 90% get / 5% insert / 5% delete
 )
 
 // inflight is one pipelined request a client has submitted but not yet
@@ -73,13 +91,23 @@ type inflight struct {
 	wait  func()
 }
 
+// scenarioRaw carries the pre-digest measurement state of one scenario
+// pass, so several passes of the same configuration can be merged into
+// one record (latency samples re-summarized, derived ratios recomputed
+// from summed numerators/denominators rather than averaged).
+type scenarioRaw struct {
+	rec      *latencyRecorder
+	execKeys uint64 // keys executed across all ops
+	readKeys uint64 // keys executed by read ops (dedupe-ratio denominator)
+}
+
 // runServeScenario runs conc closed-loop clients for dur against a
 // fresh index and returns the measured record. Clients of the serving
 // modes pipeline depth async requests each (the point of the async
 // API: pending requests are what the scheduler coalesces); the naive
 // baseline gains nothing from pipelining — every request is its own
 // one-key batch behind the mutex — so its clients loop synchronously.
-func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration) ServeScenario {
+func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration, pl *obsPlane) (ServeScenario, scenarioRaw) {
 	idx, keys, _ := opIndex(sc, 6)
 	// The scheduler coalesces whatever is in flight; cap epochs at the
 	// full pipeline window (conc clients x depth pending each) so the
@@ -92,6 +120,21 @@ func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, d
 	switch mode {
 	case modeServe, modeMixed:
 		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger})
+	case modeMetrics:
+		// Same configuration as modeServe with the whole telemetry plane
+		// attached — serving instruments plus the PIM monitor — so the
+		// coalesced/coalesced+metrics throughput delta IS the plane's cost.
+		// The registry is shared with -metrics-addr when given, so a
+		// scraper sees this scenario live; otherwise it is run-local.
+		reg := metrics.NewRegistry()
+		if pl != nil {
+			reg = pl.reg
+		}
+		idx.SetRecorder(obs.NewMonitor(reg, idx.P()))
+		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger, Metrics: reg})
+		if pl != nil {
+			pl.srv.Store(srv)
+		}
 	case modeCache:
 		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger, CacheSize: 16 * conc})
 	}
@@ -167,6 +210,7 @@ func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, d
 	}
 	all := &latencyRecorder{}
 	all.merge(lats...)
+	raw := scenarioRaw{rec: all}
 	out := ServeScenario{
 		Name:      name,
 		Requests:  total.Load(),
@@ -177,21 +221,63 @@ func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, d
 		st := srv.Stats()
 		out.ReadEpochs, out.WriteEpochs = st.ReadEpochs, st.WriteEpochs
 		out.CacheHits, out.CacheMisses = st.CacheHits, st.CacheMisses
+		out.CacheAdmissions, out.DedupedKeys = st.CacheAdmissions, st.DedupedKeys
 		out.MaxEpochKeys = st.MaxEpochKeys
-		var execd uint64
 		for op := range st.KeysExecuted {
-			execd += st.KeysExecuted[op]
+			raw.execKeys += st.KeysExecuted[op]
 		}
 		if epochs := st.ReadEpochs + st.WriteEpochs; epochs > 0 {
-			out.AvgEpochKeys = float64(execd) / float64(epochs)
+			out.AvgEpochKeys = float64(raw.execKeys) / float64(epochs)
+		}
+		for _, op := range []serve.Op{serve.OpGet, serve.OpLCP, serve.OpSubtree} {
+			raw.readKeys += st.KeysExecuted[op]
+		}
+		if st.DedupedKeys > 0 {
+			out.DedupeRatio = float64(st.DedupedKeys) / float64(st.DedupedKeys+raw.readKeys)
 		}
 	}
+	return out, raw
+}
+
+// mergePasses folds several passes of one configuration into a single
+// record over their combined wall-clock: counters sum, the latency
+// digest is recomputed over the pooled samples, and the derived ratios
+// are recomputed from summed parts (a mean of per-pass ratios would
+// weight short passes equally with long ones).
+func mergePasses(name string, passes []ServeScenario, raws []scenarioRaw, totalSec float64) ServeScenario {
+	out := ServeScenario{Name: name}
+	all := &latencyRecorder{}
+	var execd, reads uint64
+	for i := range passes {
+		p := &passes[i]
+		out.Requests += p.Requests
+		out.ReadEpochs += p.ReadEpochs
+		out.WriteEpochs += p.WriteEpochs
+		out.CacheHits += p.CacheHits
+		out.CacheMisses += p.CacheMisses
+		out.CacheAdmissions += p.CacheAdmissions
+		out.DedupedKeys += p.DedupedKeys
+		if p.MaxEpochKeys > out.MaxEpochKeys {
+			out.MaxEpochKeys = p.MaxEpochKeys
+		}
+		all.merge(raws[i].rec)
+		execd += raws[i].execKeys
+		reads += raws[i].readKeys
+	}
+	out.OpsPerSec = float64(out.Requests) / totalSec
+	if epochs := out.ReadEpochs + out.WriteEpochs; epochs > 0 {
+		out.AvgEpochKeys = float64(execd) / float64(epochs)
+	}
+	if out.DedupedKeys > 0 {
+		out.DedupeRatio = float64(out.DedupedKeys) / float64(out.DedupedKeys+reads)
+	}
+	out.Latency = all.summary()
 	return out
 }
 
 // runServeSuite executes the serving scenarios and writes the JSON
 // report to path ("-" for stdout-only).
-func runServeSuite(sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration, path string) error {
+func runServeSuite(sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration, path string, pl *obsPlane) error {
 	rep := ServeReport{
 		Scale:       sc,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
@@ -204,32 +290,80 @@ func runServeSuite(sc experiments.Scale, conc, depth int, zipfS float64, dur, li
 	}
 	fmt.Printf("serve: %d clients x depth %d, Zipf(%.2f), %v per scenario, linger %v, P=%d n=%d (GOMAXPROCS=%d)\n\n",
 		conc, depth, zipfS, dur, linger, sc.P, sc.N, rep.GoMaxProcs)
-	scenarios := []struct {
-		name string
-		mode serveMode
-	}{
-		{"naive-1key-batches", modeNaive},
-		{"coalesced", modeServe},
-		{"coalesced+cache", modeCache},
-		{"mixed-writes", modeMixed},
-	}
-	for _, s := range scenarios {
-		res := runServeScenario(s.name, s.mode, sc, conc, depth, zipfS, dur, linger)
-		rep.Results = append(rep.Results, res)
-		fmt.Printf("%-20s %9.0f ops/s  p50 %8s  p99 %8s  epochs %d/%d  avg %5.1f keys/epoch  cache %d/%d\n",
+	show := func(res ServeScenario) {
+		fmt.Printf("%-20s %9.0f ops/s  p50 %8s  p99 %8s  epochs %d/%d  avg %5.1f keys/epoch  dedup %4.1f%%  cache %d/%d\n",
 			res.Name, res.OpsPerSec,
 			time.Duration(int64(res.Latency.P50Ns)).Round(time.Microsecond),
 			time.Duration(int64(res.Latency.P99Ns)).Round(time.Microsecond),
-			res.ReadEpochs, res.WriteEpochs, res.AvgEpochKeys, res.CacheHits, res.CacheMisses)
+			res.ReadEpochs, res.WriteEpochs, res.AvgEpochKeys, 100*res.DedupeRatio,
+			res.CacheHits, res.CacheMisses)
 	}
-	if rep.Results[0].OpsPerSec > 0 {
-		best := rep.Results[1].OpsPerSec
-		if rep.Results[2].OpsPerSec > best {
-			best = rep.Results[2].OpsPerSec
+	run := func(name string, mode serveMode, d time.Duration) (ServeScenario, scenarioRaw) {
+		return runServeScenario(name, mode, sc, conc, depth, zipfS, d, linger, pl)
+	}
+
+	naive, _ := run("naive-1key-batches", modeNaive, dur)
+	show(naive)
+
+	// Telemetry overhead: interleaved A/B pairs (see MetricsOverheadPct).
+	// Each pass gets dur/passes so the pair together costs the same wall
+	// clock as two plain scenarios; the published records merge the
+	// passes back into full-duration equivalents. Which configuration
+	// runs first alternates per pair (ABBA-style) so any monotone host
+	// drift biases half the pairs one way and half the other, and every
+	// timed pass starts from a collected heap.
+	const overheadPasses = 5
+	rep.OverheadPasses = overheadPasses
+	passDur := dur / overheadPasses
+	var plainP, metP []ServeScenario
+	var plainR, metR []scenarioRaw
+	var ratios []float64
+	for i := 0; i < overheadPasses; i++ {
+		var a, b ServeScenario
+		var ar, br scenarioRaw
+		if i%2 == 0 {
+			runtime.GC()
+			a, ar = run("coalesced", modeServe, passDur)
+			runtime.GC()
+			b, br = run("coalesced+metrics", modeMetrics, passDur)
+		} else {
+			runtime.GC()
+			b, br = run("coalesced+metrics", modeMetrics, passDur)
+			runtime.GC()
+			a, ar = run("coalesced", modeServe, passDur)
 		}
-		rep.SpeedupVsNaive = best / rep.Results[0].OpsPerSec
+		plainP, plainR = append(plainP, a), append(plainR, ar)
+		metP, metR = append(metP, b), append(metR, br)
+		if a.OpsPerSec > 0 {
+			ratios = append(ratios, b.OpsPerSec/a.OpsPerSec)
+		}
 	}
-	fmt.Printf("\nserving-layer speedup vs naive loop: %.2fx\n\n", rep.SpeedupVsNaive)
+	passSec := float64(overheadPasses) * passDur.Seconds()
+	coalesced := mergePasses("coalesced", plainP, plainR, passSec)
+	withMetrics := mergePasses("coalesced+metrics", metP, metR, passSec)
+	show(coalesced)
+	show(withMetrics)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		rep.MetricsOverheadPct = 100 * (1 - ratios[len(ratios)/2])
+	}
+
+	cache, _ := run("coalesced+cache", modeCache, dur)
+	show(cache)
+	mixed, _ := run("mixed-writes", modeMixed, dur)
+	show(mixed)
+	rep.Results = []ServeScenario{naive, coalesced, withMetrics, cache, mixed}
+
+	if naive.OpsPerSec > 0 {
+		best := coalesced.OpsPerSec
+		if cache.OpsPerSec > best {
+			best = cache.OpsPerSec
+		}
+		rep.SpeedupVsNaive = best / naive.OpsPerSec
+	}
+	fmt.Printf("\nserving-layer speedup vs naive loop: %.2fx\n", rep.SpeedupVsNaive)
+	fmt.Printf("telemetry-plane overhead: %.2f%% (median of %d interleaved pairs)\n\n",
+		rep.MetricsOverheadPct, overheadPasses)
 	if path == "" || path == "-" {
 		return nil
 	}

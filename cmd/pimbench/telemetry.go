@@ -1,0 +1,47 @@
+package main
+
+// Live telemetry wiring (-metrics-addr): one shared registry serves
+// /metrics, /varz, /healthz and pprof for whichever suite is running.
+// Experiment and -bench modes attach an obs.Monitor to every system
+// they create (via the pim system hook, unless -trace claimed it);
+// the -serve suite instead wires the registry into exactly one
+// scenario ("coalesced+metrics"), keeping the other scenarios
+// instrumentation-free so the report's overhead number compares
+// metrics-on against a genuinely clean run.
+
+import (
+	"sync/atomic"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/metrics"
+	"github.com/pimlab/pimtrie/internal/serve"
+	"github.com/pimlab/pimtrie/internal/telemetry"
+)
+
+// obsPlane is pimbench's process-wide observability state.
+type obsPlane struct {
+	reg *metrics.Registry
+	// srv is the serve.Server currently feeding /healthz (the latest
+	// metrics-instrumented scenario), nil before one exists.
+	srv atomic.Pointer[serve.Server]
+}
+
+// health backs /healthz: green until a serving scenario exists, then
+// that server's post-epoch sample.
+func (pl *obsPlane) health() pimtrie.Health {
+	if s := pl.srv.Load(); s != nil {
+		return s.Health()
+	}
+	return pimtrie.Health{}
+}
+
+// startTelemetry binds addr and returns the plane plus the HTTP server
+// (close it on exit).
+func startTelemetry(addr string) (*obsPlane, *telemetry.Server, error) {
+	pl := &obsPlane{reg: metrics.NewRegistry()}
+	ts, err := telemetry.Start(telemetry.Options{Addr: addr, Registry: pl.reg, Health: pl.health})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl, ts, nil
+}

@@ -17,6 +17,7 @@ import (
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/core"
+	"github.com/pimlab/pimtrie/internal/metrics"
 	"github.com/pimlab/pimtrie/internal/obs"
 	"github.com/pimlab/pimtrie/internal/pim"
 	"github.com/pimlab/pimtrie/internal/workload"
@@ -95,6 +96,10 @@ func main() {
 	fmt.Printf("io-time         %d (balance %.2f)\n", d.IOTime, d.IOBalance())
 	fmt.Printf("pim-time        %d (balance %.2f)\n", d.PIMTime, d.WorkBalance())
 	fmt.Printf("cpu-work        %d\n", d.CPUWork)
+	ioMM, ioCV := metrics.Imbalance(d.PerModuleIO)
+	wrkMM, wrkCV := metrics.Imbalance(d.PerModuleWrk)
+	fmt.Printf("imbalance       io max/mean=%.2f cv=%.3f   work max/mean=%.2f cv=%.3f\n",
+		ioMM, ioCV, wrkMM, wrkCV)
 	if pt.FalseHits() > 0 || pt.Rehashes() > 0 {
 		fmt.Printf("verification    %d false hits dropped, %d rehashes\n", pt.FalseHits(), pt.Rehashes())
 	}

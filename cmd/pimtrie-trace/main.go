@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/pimlab/pimtrie/internal/metrics"
 	"github.com/pimlab/pimtrie/internal/obs"
 )
 
@@ -143,6 +144,15 @@ func report(tr *obs.Trace, top int, timeline, check bool) error {
 		fmt.Printf("  m%d io=%d (%.1f%%) work=%d", h.Module, h.IO, share, h.Work)
 	}
 	fmt.Println()
+
+	// Whole-trace skew coefficients, in the same vocabulary the live
+	// imbalance gauges (pimtrie_pim_*_imbalance_*) report: max/mean is
+	// the paper's balance factor (1 = balanced, P = fully serialized),
+	// CV the coefficient of variation across modules.
+	ioMM, ioCV := metrics.Imbalance(tr.Total.PerModuleIO)
+	wrkMM, wrkCV := metrics.Imbalance(tr.Total.PerModuleWrk)
+	fmt.Printf("imbalance: io max/mean=%.2f cv=%.3f   work max/mean=%.2f cv=%.3f\n",
+		ioMM, ioCV, wrkMM, wrkCV)
 
 	if timeline {
 		fmt.Println("timeline (round: phase tasks modules send recv max-io max-work):")

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): the format served on
+// /metrics by internal/telemetry. Families are emitted in sorted name
+// order with one HELP/TYPE header each; histogram families expand into
+// cumulative _bucket{le=...} series plus _sum and _count, with only
+// non-empty buckets materialized (plus the mandatory +Inf).
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...}, optionally with a trailing le pair;
+// empty when there are no labels at all.
+func formatLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `le="%s"`, le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus writes every registered series in Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, e := range r.snapshotEntries() {
+		if e.name != lastFamily {
+			lastFamily = e.name
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", e.name, e.help, e.name, e.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", e.name, formatLabels(e.labels, ""), e.c.Value())
+		case KindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", e.name, formatLabels(e.labels, ""), formatFloat(e.g.Value()))
+		case KindHistogram:
+			err = writeHistogram(w, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, e *entry) error {
+	s := e.h.Snapshot()
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		_, hi := BucketBounds(b.Index)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, formatLabels(e.labels, formatFloat(hi)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, formatLabels(e.labels, "+Inf"), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, formatLabels(e.labels, ""), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, formatLabels(e.labels, ""), s.Count)
+	return err
+}
+
+// VarzHistogram is a histogram's JSON-friendly digest in /varz output.
+type VarzHistogram struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// DigestSnapshot digests a histogram snapshot into the standard varz
+// quantile set (the same nearest-rank quantiles /metrics consumers
+// would compute from the buckets).
+func DigestSnapshot(s HistSnapshot) VarzHistogram {
+	return VarzHistogram{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Max:   s.Quantile(1),
+	}
+}
+
+// Varz returns a JSON-marshalable snapshot of every series: counters
+// and gauges as numbers, histograms as quantile digests, keyed by the
+// canonical series name.
+func (r *Registry) Varz() map[string]any {
+	out := map[string]any{}
+	for _, e := range r.snapshotEntries() {
+		key := seriesKey(e.name, e.labels)
+		switch e.kind {
+		case KindCounter:
+			out[key] = e.c.Value()
+		case KindGauge:
+			out[key] = e.g.Value()
+		case KindHistogram:
+			out[key] = DigestSnapshot(e.h.Snapshot())
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundsContainValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over the full supported range.
+		v := math.Ldexp(0.5+rng.Float64()/2, histMinExp+rng.Intn(histMaxExp-histMinExp+1))
+		idx := bucketIndex(v)
+		lo, hi := BucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("v=%g landed in bucket %d [%g, %g)", v, idx, lo, hi)
+		}
+	}
+	// Buckets tile the range with no gaps.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi %g) and %d (lo %g)", i, hi, i+1, lo)
+		}
+	}
+	// Out-of-range values clamp instead of panicking.
+	for _, v := range []float64{0, -1, math.NaN(), 1e300, 1e-300} {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of range", v, idx)
+		}
+	}
+}
+
+// TestHistogramQuantileErrorBound is the error-bound contract: bucketed
+// quantiles answer within half a bucket's relative width (1/32) of the
+// exact nearest-rank sample, for every quantile including the extremes,
+// across several orders of magnitude.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 1000, 50000} {
+		var h Histogram
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform latencies between 1µs and 10s.
+			samples[i] = math.Exp(rng.Float64()*math.Log(1e7)) * 1e-6
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("n=%d: snapshot count %d", n, snap.Count)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+			exact := samples[NearestRank(n, q)]
+			est := snap.Quantile(q)
+			if rel := math.Abs(est-exact) / exact; rel > 1.0/(2*histSub) {
+				t.Errorf("n=%d q=%v: est %g vs exact %g (rel err %.4f > %.4f)",
+					n, q, est, exact, rel, 1.0/(2*histSub))
+			}
+		}
+	}
+}
+
+func randomSnapshot(rng *rand.Rand, n int) (*Histogram, HistSnapshot) {
+	h := &Histogram{}
+	for i := 0; i < n; i++ {
+		h.Observe(math.Exp(rng.Float64()*20 - 10))
+	}
+	return h, h.Snapshot()
+}
+
+func TestSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, a := randomSnapshot(rng, 500)
+	_, b := randomSnapshot(rng, 900)
+	_, c := randomSnapshot(rng, 1)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if !reflect.DeepEqual(left.Buckets, right.Buckets) || left.Count != right.Count {
+		t.Fatal("merge is not associative")
+	}
+	if math.Abs(left.Sum-right.Sum) > 1e-9*math.Abs(left.Sum) {
+		t.Fatalf("merge sums diverge: %g vs %g", left.Sum, right.Sum)
+	}
+	// Commutative too, and the empty snapshot is the identity.
+	if ab, ba := a.Merge(b), b.Merge(a); !reflect.DeepEqual(ab, ba) {
+		t.Fatal("merge is not commutative")
+	}
+	if got := a.Merge(HistSnapshot{}); !reflect.DeepEqual(got, a) {
+		t.Fatal("empty snapshot is not the merge identity")
+	}
+}
+
+// TestMergeEqualsCombinedObservation: merging per-worker snapshots must
+// equal one histogram that observed everything (the distributed-digest
+// property the serving layer and pimbench rely on).
+func TestMergeEqualsCombinedObservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var combined Histogram
+	var merged HistSnapshot
+	for w := 0; w < 4; w++ {
+		var part Histogram
+		for i := 0; i < 1000; i++ {
+			v := math.Exp(rng.Float64()*12 - 6)
+			part.Observe(v)
+			combined.Observe(v)
+		}
+		merged = merged.Merge(part.Snapshot())
+	}
+	want := combined.Snapshot()
+	if !reflect.DeepEqual(merged.Buckets, want.Buckets) || merged.Count != want.Count {
+		t.Fatal("merged per-worker snapshots != combined histogram")
+	}
+}
+
+// TestHistogramHammer is the -race concurrency contract: many writers,
+// a concurrent scraper repeatedly snapshotting and rendering, and an
+// exact final count once everyone is done.
+func TestHistogramHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_seconds", "hammered")
+	c := r.Counter("hammer_total", "hammered")
+	const writers, perWriter = 8, 20000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			h.Snapshot().Quantile(0.99)
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Float64())
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := h.Snapshot().Count; got != writers*perWriter {
+		t.Fatalf("final count %d, want %d", got, writers*perWriter)
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("final counter %d, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,67 @@
+// Package metrics is the live telemetry plane's instrument layer: a
+// registry of named counters, gauges and log-bucketed histograms that
+// the serving layer, the PIM monitor (internal/obs) and the HTTP
+// exposition server (internal/telemetry) share.
+//
+// Design goals, in the same spirit as sys.Phase:
+//
+//   - Near-zero hot-path cost. Every instrument update is one or two
+//     atomic operations on pre-registered state; there is no per-update
+//     allocation, locking, or map lookup. Code that is not wired to a
+//     registry holds nil and skips instrumentation entirely.
+//   - Safe under -race. Writers update atomics; scrapers read the same
+//     atomics. A scrape taken mid-update may see a histogram whose
+//     count is one ahead of its buckets — acceptable for monitoring,
+//     never a data race.
+//   - Mergeable snapshots. Histogram snapshots are plain values that
+//     merge associatively, so per-worker or per-shard histograms can be
+//     folded into one digest (the same way cmd/pimbench merges
+//     per-client latency recorders).
+//   - One quantile vocabulary. Nearest-rank semantics (NearestRank) are
+//     shared by the exact-sample percentiles in cmd/pimbench and the
+//     bucketed quantiles here, so the benchmark reports and /metrics
+//     can not disagree on what "p99" means.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use, but instruments are normally obtained from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (queue depth, imbalance
+// coefficients, 0/1 stage-busy flags).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; gauges are updated rarely relative to reads).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

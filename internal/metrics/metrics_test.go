@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNearestRankEdges(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want int
+	}{
+		{0, 0.5, 0},
+		{1, 0.5, 0}, {1, 0.99, 0}, {1, 1.0, 0}, {1, 0, 0},
+		{2, 0.5, 0}, {2, 0.51, 1}, {2, 0.99, 1}, {2, 1.0, 1},
+		{3, 0.5, 1}, {3, 0.95, 2}, {3, 1.0, 2}, {3, 0.333, 0}, {3, 0.334, 1},
+		{4, 0.25, 0}, {4, 0.5, 1}, {4, 0.75, 2}, {4, 1.0, 3},
+		{100, 0.5, 49}, {100, 0.99, 98}, {100, 0.999, 99}, {100, 1.0, 99},
+		{100, -0.5, 0}, {100, 2.0, 99},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.n, c.q); got != c.want {
+			t.Errorf("NearestRank(%d, %v) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	check := func(v []int64, wantMax, wantCV float64) {
+		t.Helper()
+		mm, cv := Imbalance(v)
+		if math.Abs(mm-wantMax) > 1e-12 || math.Abs(cv-wantCV) > 1e-12 {
+			t.Errorf("Imbalance(%v) = (%v, %v), want (%v, %v)", v, mm, cv, wantMax, wantCV)
+		}
+	}
+	check(nil, 1, 0)
+	check([]int64{0, 0, 0}, 1, 0)
+	check([]int64{5, 5, 5, 5}, 1, 0)
+	// One module carries everything: max/mean = P, CV = sqrt(P-1).
+	check([]int64{4, 0, 0, 0}, 4, math.Sqrt(3))
+	// max/mean must agree with the paper's P·max/Σ balance factor.
+	v := []int64{3, 9, 1, 7}
+	mm, _ := Imbalance(v)
+	var max, sum int64
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	if want := float64(max) * float64(len(v)) / float64(sum); math.Abs(mm-want) > 1e-12 {
+		t.Errorf("max/mean = %v, want P·max/Σ = %v", mm, want)
+	}
+}
+
+func TestRegistryIdempotentAndKindSafety(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("op", "get"))
+	b := r.Counter("x_total", "other help", L("op", "get"))
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if c := r.Counter("x_total", "help", L("op", "lcp")); c == a {
+		t.Fatal("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help", L("op", "get"))
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests", L("op", "get")).Add(3)
+	r.Counter("t_requests_total", "requests", L("op", "lcp")).Add(1)
+	r.Gauge("t_queue_depth", "depth").Set(7)
+	h := r.Histogram("t_latency_seconds", "latency")
+	h.Observe(0.001)
+	h.Observe(0.002)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		`t_requests_total{op="get"} 3`,
+		`t_requests_total{op="lcp"} 1`,
+		"# TYPE t_queue_depth gauge",
+		"t_queue_depth 7",
+		"# TYPE t_latency_seconds histogram",
+		`t_latency_seconds_bucket{le="+Inf"} 2`,
+		"t_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE t_requests_total"); n != 1 {
+		t.Errorf("family header emitted %d times, want once", n)
+	}
+	v := r.Varz()
+	if v[`t_requests_total{op="get"}`] != uint64(3) {
+		t.Errorf("varz counter = %v", v[`t_requests_total{op="get"}`])
+	}
+	if d, ok := v["t_latency_seconds"].(VarzHistogram); !ok || d.Count != 2 {
+		t.Errorf("varz histogram = %#v", v["t_latency_seconds"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("t_esc", "x", L("k", "a\"b\\c\nd")).Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `t_esc{k="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series missing %q in:\n%s", want, b.String())
+	}
+}

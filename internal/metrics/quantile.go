@@ -1,0 +1,62 @@
+package metrics
+
+import "math"
+
+// NearestRank returns the 0-based index of the q-quantile of n sorted
+// samples under nearest-rank semantics: the smallest index i such that
+// at least ceil(q*n) samples are ≤ sample[i]. q ≤ 0 selects the first
+// sample, q ≥ 1 (p100) the last; n ≤ 0 returns 0 (callers guard empty
+// inputs). These are the semantics both the exact-sample percentile
+// digests in cmd/pimbench and the bucketed Histogram quantiles use, so
+// tiny samples (n < 4) and the extremes behave identically everywhere:
+// for n = 2, p50 is the first sample and p99 the second; for n = 1
+// every quantile is the sample itself.
+func NearestRank(n int, q float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	r := int(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r - 1
+}
+
+// Imbalance digests a per-module load vector into the two skew
+// coefficients the live gauges and the offline trace analyzer share:
+//
+//   - maxMean = max_m(v_m) / mean_m(v_m) — the paper's load-imbalance
+//     factor (Metrics.IOBalance computes exactly this as P·max/Σ);
+//     1.0 is perfect balance, P is total serialization.
+//   - cv = stddev_m(v_m) / mean_m(v_m) — the coefficient of variation
+//     (population stddev); 0 is perfect balance.
+//
+// An empty or all-zero vector reports perfect balance (1, 0).
+func Imbalance(v []int64) (maxMean, cv float64) {
+	if len(v) == 0 {
+		return 1, 0
+	}
+	var max, sum int64
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return 1, 0
+	}
+	mean := float64(sum) / float64(len(v))
+	var ss float64
+	for _, x := range v {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	return float64(max) / mean, math.Sqrt(ss/float64(len(v))) / mean
+}

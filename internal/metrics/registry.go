@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension of a metric series (e.g. op="get").
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies a registered instrument.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "kind?"
+}
+
+// entry is one registered series: an instrument plus its identity.
+type entry struct {
+	name   string
+	help   string
+	labels []Label // sorted by key
+	kind   Kind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// seriesKey is the canonical "name{k=v,...}" identity of an entry.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named instruments. Registration is idempotent: asking
+// for an existing (name, labels) series returns the already-registered
+// instrument, so independent components can share one registry (and a
+// restarted server re-attaches to its accumulated counters). Asking
+// for an existing series with a different kind panics — that is always
+// a naming bug. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byKey   map[string]*entry
+	entries []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*entry{}}
+}
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	return ls
+}
+
+// register returns the entry for (name, labels), creating it with the
+// given kind if new.
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *entry {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	ls := sortedLabels(labels)
+	for _, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l.Key, name))
+		}
+	}
+	key := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", key, kind, e.kind))
+		}
+		return e
+	}
+	// A family (all series of one name) must have one consistent kind.
+	for _, e := range r.entries {
+		if e.name == name && e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s but family is %s", key, kind, e.kind))
+		}
+	}
+	e := &entry{name: name, help: help, labels: ls, kind: kind}
+	switch kind {
+	case KindCounter:
+		e.c = &Counter{}
+	case KindGauge:
+		e.g = &Gauge{}
+	case KindHistogram:
+		e.h = &Histogram{}
+	}
+	r.byKey[key] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter registers (or retrieves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, KindCounter, labels).c
+}
+
+// Gauge registers (or retrieves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, KindGauge, labels).g
+}
+
+// Histogram registers (or retrieves) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, KindHistogram, labels).h
+}
+
+// snapshotEntries returns the entries sorted by (name, label key) —
+// the stable exposition order. Instrument values are read later, by
+// the caller, straight from the shared atomics.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.RLock()
+	es := append([]*entry(nil), r.entries...)
+	r.mu.RUnlock()
+	sort.SliceStable(es, func(a, b int) bool {
+		if es[a].name != es[b].name {
+			return es[a].name < es[b].name
+		}
+		return seriesKey("", es[a].labels) < seriesKey("", es[b].labels)
+	})
+	return es
+}

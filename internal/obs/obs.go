@@ -162,8 +162,10 @@ func (t *Tracer) RecordRound(tr pim.RoundTrace) {
 	}
 	addRound(target, tr)
 	addRound(&t.total, tr)
+	// The per-module vectors are on loan from the system's round-scratch
+	// pool; the retained timeline needs its own copy.
 	t.rounds = append(t.rounds, Round{
-		Index: len(t.rounds), Span: span, Path: path, RoundTrace: tr,
+		Index: len(t.rounds), Span: span, Path: path, RoundTrace: tr.Clone(),
 	})
 }
 

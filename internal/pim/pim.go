@@ -298,10 +298,22 @@ type RoundTrace struct {
 	// Sparse per-module breakdown: ModID lists the modules addressed this
 	// round; ModIO[j] and ModWork[j] are module ModID[j]'s words (to+from)
 	// and accounted work. Populated only while tracing or while a Recorder
-	// is attached.
+	// is attached. On the normal round path these slices alias pooled
+	// scratch the System reuses for the next round — they are valid only
+	// until RecordRound returns; retainers must copy (Clone).
 	ModID   []int
 	ModIO   []int64
 	ModWork []int64
+}
+
+// Clone returns a RoundTrace whose per-module vectors are owned by the
+// caller — the copy a Recorder must take if it keeps the trace past the
+// RecordRound call.
+func (tr RoundTrace) Clone() RoundTrace {
+	tr.ModID = append([]int(nil), tr.ModID...)
+	tr.ModIO = append([]int64(nil), tr.ModIO...)
+	tr.ModWork = append([]int64(nil), tr.ModWork...)
+	return tr
 }
 
 // Recorder observes a System's execution: phase open/close markers,
@@ -316,7 +328,9 @@ type Recorder interface {
 	BeginPhase(name string)
 	// EndPhase closes the innermost open phase.
 	EndPhase()
-	// RecordRound is called after each executed round's accounting.
+	// RecordRound is called after each executed round's accounting. The
+	// trace's per-module slices are on loan from the system's pooled
+	// scratch: read them during the call, Clone() to retain them.
 	RecordRound(tr RoundTrace)
 	// RecordCPUWork is called for each CPUWork accounting event.
 	RecordCPUWork(n int)
@@ -347,6 +361,14 @@ type System struct {
 	sendBy    []int64 // per-busy-module send words, accounting scratch
 	recvBy    []int64 // per-busy-module recv words
 	wrkBy     []int64 // per-busy-module accounted work
+
+	// Pooled RoundTrace vectors, reused across rounds so an attached
+	// always-on Recorder (obs.Monitor) costs zero allocations per round.
+	// Consumers that retain a RoundTrace past the RecordRound call must
+	// copy these (see Recorder); the tracing path below does.
+	modIDBuf   []int
+	modIOBuf   []int64
+	modWorkBuf []int64
 
 	trace   []RoundTrace
 	tracing bool
@@ -703,9 +725,14 @@ func (s *System) roundNormal(tasks []Task) []Resp {
 	var modID []int
 	var modIO, modWork []int64
 	if observing {
-		modID = make([]int, nb)
-		modIO = make([]int64, nb)
-		modWork = make([]int64, nb)
+		if cap(s.modIDBuf) < nb {
+			s.modIDBuf = make([]int, nb)
+			s.modIOBuf = make([]int64, nb)
+			s.modWorkBuf = make([]int64, nb)
+		}
+		modID = s.modIDBuf[:nb]
+		modIO = s.modIOBuf[:nb]
+		modWork = s.modWorkBuf[:nb]
 	}
 	parallel.ForChunked(nb, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
@@ -752,7 +779,8 @@ func (s *System) roundNormal(tasks []Task) []Resp {
 			ModID: modID, ModIO: modIO, ModWork: modWork,
 		}
 		if s.tracing {
-			s.trace = append(s.trace, tr)
+			// The trace outlives this round; detach it from the pool.
+			s.trace = append(s.trace, tr.Clone())
 		}
 		if s.recorder != nil {
 			s.recorder.RecordRound(tr)

@@ -296,7 +296,7 @@ type logRecorder struct {
 
 func (r *logRecorder) BeginPhase(name string)    { r.phases = append(r.phases, "+"+name) }
 func (r *logRecorder) EndPhase()                 { r.phases = append(r.phases, "-") }
-func (r *logRecorder) RecordRound(tr RoundTrace) { r.rounds = append(r.rounds, tr) }
+func (r *logRecorder) RecordRound(tr RoundTrace) { r.rounds = append(r.rounds, tr.Clone()) }
 func (r *logRecorder) RecordCPUWork(n int)       { r.cpu += int64(n) }
 
 func TestRecorderObservesRoundsPhasesAndCPU(t *testing.T) {

@@ -81,6 +81,13 @@ type Server struct {
 	plans    chan *epochPlan
 	demand   chan struct{} // executor's request for the next plan
 	wg       sync.WaitGroup
+
+	met *serveMetrics // nil unless Options.Metrics is set
+
+	// health is the post-epoch Index.Health sample behind Server.Health;
+	// written only by the goroutine that owns the index.
+	healthMu sync.Mutex
+	health   pimtrie.Health
 }
 
 // NewServer starts the serving layer over ix. The Server owns all
@@ -96,6 +103,10 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 	if s.opts.CacheSize > 0 {
 		s.cache = newHotCache(s.opts.CacheSize)
 	}
+	if s.opts.Metrics != nil {
+		s.met = newServeMetrics(s.opts.Metrics)
+	}
+	s.sampleHealth() // baseline before the scheduler goroutines exist
 	if !s.opts.NoPipeline {
 		// Formation is demand-paced: the executor emits one demand token
 		// when it starts an epoch, and the batcher forms exactly one plan
@@ -170,17 +181,27 @@ func (s *Server) submit(op Op, keys []Key, values []uint64) *future {
 	}
 	s.stats.Requests[op]++
 	s.stats.KeysRequested[op] += uint64(len(keys))
+	if s.met != nil {
+		s.met.requests[op].Inc()
+		s.met.keysReq[op].Add(uint64(len(keys)))
+	}
 	if op.isRead() && s.cache != nil && (op == OpGet || op == OpLCP) {
 		if s.tryCacheLocked(c) {
 			s.mu.Unlock()
 			return f
 		}
 		s.stats.CacheMisses++
+		if s.met != nil {
+			s.met.cacheMisses.Inc()
+		}
 	}
 	if op.isRead() {
 		s.readQ[op] = append(s.readQ[op], c)
 	} else {
 		s.writeQ = append(s.writeQ, c)
+	}
+	if s.met != nil {
+		s.met.queueDepth.Add(1)
 	}
 	s.mu.Unlock()
 	s.kickBatcher()
@@ -222,6 +243,9 @@ func (s *Server) tryCacheLocked(c *call) bool {
 		hits = append(hits, e)
 	}
 	s.stats.CacheHits++
+	if s.met != nil {
+		s.met.cacheHits.Inc()
+	}
 	if c.op == OpGet {
 		vals := make([]uint64, len(hits))
 		found := make([]bool, len(hits))
@@ -245,6 +269,7 @@ func (s *Server) tryCacheLocked(c *call) bool {
 		}
 		s.hist = append(s.hist, &EpochRecord{Ops: []*OpRecord{rec}})
 	}
+	s.observeLatency(c)
 	close(c.fut.done)
 	return true
 }
@@ -418,6 +443,11 @@ func (s *Server) formWriteLocked() *epochPlan {
 	plan.stamp = s.formedWrites
 	s.stats.WriteEpochs++
 	s.noteExecutedLocked(op, len(plan.keys))
+	if s.met != nil {
+		s.met.writeEpochs.Inc()
+		s.met.epochKeys.Observe(float64(len(plan.keys)))
+		s.met.noteFormed(plan.calls, time.Now())
+	}
 	if s.opts.RecordHistory {
 		rec := &EpochRecord{Write: true}
 		for _, c := range plan.calls {
@@ -480,8 +510,22 @@ func (s *Server) formReadLocked() *epochPlan {
 		}
 		s.readQ[op] = append(q[:0], q[i:]...)
 		s.noteExecutedLocked(Op(op), len(rb.uniq))
+		admitted := 0
+		for _, c := range rb.calls {
+			admitted += len(c.keys)
+		}
+		s.stats.DedupedKeys += uint64(admitted - len(rb.uniq))
+		if s.met != nil {
+			s.met.deduped.Add(uint64(admitted - len(rb.uniq)))
+			s.met.epochKeys.Observe(float64(len(rb.uniq)))
+			s.met.noteFormed(rb.calls, time.Now())
+		}
 	}
 	s.stats.ReadEpochs++
+	if s.met != nil {
+		s.met.readEpochs.Inc()
+		s.met.updateDedupRatio()
+	}
 	if rec != nil {
 		s.hist = append(s.hist, rec)
 	}
@@ -493,6 +537,9 @@ func (s *Server) noteExecutedLocked(op Op, uniq int) {
 	if uniq > s.stats.MaxEpochKeys {
 		s.stats.MaxEpochKeys = uniq
 	}
+	if s.met != nil {
+		s.met.keysExec[op].Add(uint64(uniq))
+	}
 }
 
 // prepare runs the host-side phase-A preparation of every sub-batch in
@@ -500,6 +547,14 @@ func (s *Server) noteExecutedLocked(op Op, uniq int) {
 // rounds. PrepareBatch is the one Index method that is safe to call
 // while another batch executes.
 func (s *Server) prepare(plan *epochPlan) {
+	if s.met != nil {
+		start := time.Now()
+		s.met.stageBusy[stagePrepare].Set(1)
+		defer func() {
+			s.met.stageBusy[stagePrepare].Set(0)
+			s.met.prepareSec.Observe(time.Since(start).Seconds())
+		}()
+	}
 	if plan.write {
 		plan.prep = s.ix.PrepareBatch(plan.keys)
 		return
@@ -515,17 +570,28 @@ func (s *Server) prepare(plan *epochPlan) {
 // index panic (e.g. an unrecoverable injected fault) fails the epoch's
 // futures instead of killing the scheduler.
 func (s *Server) execute(plan *epochPlan) {
+	defer s.sampleHealth()
+	if s.met != nil {
+		start := time.Now()
+		s.met.stageBusy[stageExecute].Set(1)
+		defer func() {
+			s.met.stageBusy[stageExecute].Set(0)
+			s.met.executeSec.Observe(time.Since(start).Seconds())
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: index failure: %v", r)
 			if plan.write {
 				for _, c := range plan.calls {
+					s.observeLatency(c)
 					c.fut.fail(err)
 				}
 				return
 			}
 			for op := range plan.reads {
 				for _, c := range plan.reads[op].calls {
+					s.observeLatency(c)
 					c.fut.fail(err)
 				}
 			}
@@ -543,6 +609,7 @@ func (s *Server) executeWrite(plan *epochPlan) {
 	case OpInsert:
 		s.ix.InsertPrepared(plan.prep, plan.values)
 		for _, c := range plan.calls {
+			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	case OpDelete:
@@ -554,6 +621,7 @@ func (s *Server) executeWrite(plan *epochPlan) {
 				c.rec.Found = c.fut.found
 			}
 			off += len(c.keys)
+			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	}
@@ -586,6 +654,7 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.Vals, c.rec.Found = c.fut.vals, c.fut.found
 			}
+			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	}
@@ -602,6 +671,7 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.LCPs = c.fut.ints
 			}
+			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	}
@@ -615,6 +685,7 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.KVs = c.fut.kvs
 			}
+			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	}
@@ -637,6 +708,10 @@ func (s *Server) fillCache(op Op, rb *readBatch, stamp uint64, vals []uint64, fo
 		s.idBuf = appendKeyID(s.idBuf[:0], k)
 		if !s.cache.admit(op, s.idBuf, rb.dups[i] > 1) {
 			continue
+		}
+		s.stats.CacheAdmissions++
+		if s.met != nil {
+			s.met.cacheAdmits.Inc()
 		}
 		e := cacheVal{stamp: stamp}
 		if op == OpGet {

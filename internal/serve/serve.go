@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/metrics"
 )
 
 // Key and KV alias the index's key types.
@@ -97,6 +98,14 @@ type Options struct {
 	// request's inputs and responses so tests can replay it against a
 	// serial oracle. Memory grows without bound; testing only.
 	RecordHistory bool
+	// Metrics, when non-nil, registers the live serving instruments in
+	// the given registry and keeps them updated: per-op arrival counters
+	// and end-to-end latency histograms, queue-depth and pipeline-stage
+	// gauges, linger and epoch-size histograms, dedupe/cache counters,
+	// and the post-epoch index health feed behind Server.Health. Nil
+	// (the default) disables instrumentation entirely — the hot path
+	// then pays one nil check per site.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +130,12 @@ type Stats struct {
 	// CacheHits counts read requests served entirely from the hot-key
 	// cache; CacheMisses counts read requests that reached the queues.
 	CacheHits, CacheMisses uint64
+	// CacheAdmissions counts read results admitted into the hot-key
+	// cache (skew-aware admission may reject cold keys).
+	CacheAdmissions uint64
+	// DedupedKeys counts read keys absorbed by singleflight dedupe: keys
+	// admitted into read epochs minus the unique keys executed for them.
+	DedupedKeys uint64
 	// MaxEpochKeys is the largest unique-key count of any executed
 	// sub-batch.
 	MaxEpochKeys int

@@ -1,0 +1,208 @@
+package telemetry
+
+// Exposition lint: structural checks over a Prometheus text scrape,
+// used by the telemetry tests and the CI metrics-smoke job to keep the
+// metric surface well-formed as instruments are added. The rules are
+// the subset of Prometheus conventions this repo commits to:
+//
+//   - no duplicate series (same name+labels emitted twice)
+//   - every sample belongs to a family declared with # TYPE
+//   - counter families end in _total
+//   - histogram families end in a unit suffix (_seconds, _words,
+//     _keys, _bytes)
+//   - histogram buckets are cumulative: counts non-decreasing in le
+//     order, and the +Inf bucket equals _count
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histUnits are the unit suffixes histogram families may end with.
+var histUnits = []string{"_seconds", "_words", "_keys", "_bytes"}
+
+// LintExposition checks a Prometheus text scrape against the repo's
+// exposition conventions and returns one message per violation (nil
+// when clean).
+func LintExposition(text string) []string {
+	var problems []string
+	types := map[string]string{} // family -> kind
+	seen := map[string]bool{}    // full series key
+	// histogram family -> bucket samples in emission order
+	type bucket struct {
+		le  float64
+		inf bool
+		n   uint64
+	}
+	histBuckets := map[string][]bucket{}
+	histCount := map[string]uint64{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, kind := fields[2], fields[3]
+				if prev, ok := types[name]; ok && prev != kind {
+					problems = append(problems, fmt.Sprintf("line %d: family %s re-typed %s -> %s", ln+1, name, prev, kind))
+				}
+				types[name] = kind
+				switch kind {
+				case "counter":
+					if !strings.HasSuffix(name, "_total") {
+						problems = append(problems, fmt.Sprintf("counter %s does not end in _total", name))
+					}
+				case "histogram":
+					ok := false
+					for _, u := range histUnits {
+						if strings.HasSuffix(name, u) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						problems = append(problems, fmt.Sprintf("histogram %s lacks a unit suffix (%s)", name, strings.Join(histUnits, " ")))
+					}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", ln+1, err))
+			continue
+		}
+		series := name + labels
+		if seen[series] {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate series %s", ln+1, series))
+		}
+		seen[series] = true
+		family, sub := histFamily(name, types)
+		if family == "" && types[name] == "" {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no # TYPE declaration", ln+1, name))
+			continue
+		}
+		if family != "" {
+			key := family + stripLE(labels)
+			switch sub {
+			case "_bucket":
+				le, inf, err := parseLE(labels)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("line %d: %s: %v", ln+1, series, err))
+					continue
+				}
+				n, _ := strconv.ParseUint(value, 10, 64)
+				histBuckets[key] = append(histBuckets[key], bucket{le: le, inf: inf, n: n})
+			case "_count":
+				n, _ := strconv.ParseUint(value, 10, 64)
+				histCount[key] = n
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(histBuckets))
+	for k := range histBuckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		bs := histBuckets[k]
+		for i := 1; i < len(bs); i++ {
+			if !bs[i].inf && bs[i].le <= bs[i-1].le {
+				problems = append(problems, fmt.Sprintf("%s: bucket le out of order (%g after %g)", k, bs[i].le, bs[i-1].le))
+			}
+			if bs[i].n < bs[i-1].n {
+				problems = append(problems, fmt.Sprintf("%s: bucket counts not cumulative (%d after %d)", k, bs[i].n, bs[i-1].n))
+			}
+		}
+		last := bs[len(bs)-1]
+		if !last.inf {
+			problems = append(problems, fmt.Sprintf("%s: missing +Inf bucket", k))
+		} else if total, ok := histCount[k]; ok && last.n != total {
+			problems = append(problems, fmt.Sprintf("%s: +Inf bucket %d != _count %d", k, last.n, total))
+		}
+	}
+	return problems
+}
+
+// parseSample splits a sample line into name, label block (with
+// braces, possibly empty) and value text.
+func parseSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced label braces")
+		}
+		name, labels, rest = rest[:i], rest[i:j+1], strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("malformed sample %q", line)
+		}
+		return fields[0], "", fields[1], nil
+	}
+	if rest == "" {
+		return "", "", "", fmt.Errorf("sample %s has no value", name)
+	}
+	return name, labels, rest, nil
+}
+
+// histFamily resolves a sample name to its histogram family when it is
+// a _bucket/_sum/_count expansion of a declared histogram.
+func histFamily(name string, types map[string]string) (family, sub string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			f := strings.TrimSuffix(name, s)
+			if types[f] == "histogram" {
+				return f, s
+			}
+		}
+	}
+	return "", ""
+}
+
+// parseLE extracts the le label from a _bucket label block.
+func parseLE(labels string) (le float64, inf bool, err error) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, false, fmt.Errorf("bucket without le label")
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false, fmt.Errorf("unterminated le label")
+	}
+	v := rest[:j]
+	if v == "+Inf" {
+		return 0, true, nil
+	}
+	le, err = strconv.ParseFloat(v, 64)
+	return le, false, err
+}
+
+// stripLE removes the le pair from a label block so all of one
+// histogram's expansions share a key.
+func stripLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return labels
+	}
+	out := labels[:i] + rest[j+1:]
+	out = strings.ReplaceAll(out, ",}", "}")
+	out = strings.ReplaceAll(out, "{,", "{")
+	if out == "{}" {
+		return ""
+	}
+	return out
+}

@@ -104,6 +104,12 @@ const (
 // Metrics re-exports the PIM Model cost counters.
 type Metrics = pim.Metrics
 
+// Recorder re-exports the simulator's observation hook. A Recorder
+// receives phase markers and per-round cost breakdowns; internal/obs
+// provides the two standard implementations (Tracer for post-hoc
+// phase-attributed traces, Monitor for live metrics registries).
+type Recorder = pim.Recorder
+
 // Index is a PIM-trie over a simulated PIM system. It is not safe for
 // concurrent use: batches are the unit of parallelism, exactly as in the
 // paper's model, and the per-batch scratch pooled on the index is owned
@@ -231,6 +237,14 @@ func (ix *Index) P() int { return ix.sys.P() }
 // Metrics returns the cumulative PIM Model cost counters; diff two
 // snapshots with Metrics.Sub to cost a single batch.
 func (ix *Index) Metrics() Metrics { return ix.sys.Metrics() }
+
+// SetRecorder attaches (or, with nil, detaches) an observation hook to
+// the underlying simulated system. At most one recorder is active at a
+// time; attaching replaces the previous one. Recorder callbacks run
+// synchronously on the goroutine executing batches, so attach before
+// putting the index into service (e.g. before handing it to
+// serve.NewServer) rather than mid-traffic.
+func (ix *Index) SetRecorder(r Recorder) { ix.sys.SetRecorder(r) }
 
 // SpaceWords returns the total PIM memory in use, in machine words.
 func (ix *Index) SpaceWords() int {
