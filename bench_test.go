@@ -10,11 +10,14 @@
 package pimtrie
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/pimlab/pimtrie/internal/baseline"
+	"github.com/pimlab/pimtrie/internal/bitstr"
 	"github.com/pimlab/pimtrie/internal/experiments"
 	"github.com/pimlab/pimtrie/internal/pim"
+	"github.com/pimlab/pimtrie/internal/trie"
 	"github.com/pimlab/pimtrie/internal/workload"
 )
 
@@ -231,5 +234,74 @@ func BenchmarkBaselineDistXFastLPL(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		xf.LongestPrefixLevel(ints[:512])
+	}
+}
+
+// --- host-probe microbenchmarks: flat layout vs pointer chasing -------
+//
+// The shadow-trie probe is host work on every Get/recovery path; these
+// benchmarks isolate the memory-level-parallelism win of the flattened
+// snapshot (trie.Flat): dense arrays probed in interleaved lanes versus
+// the one-dependent-load-per-node pointer walk. Run both to compare:
+//
+//	go test -bench 'HostProbe' -benchtime 2s
+
+func hostProbeFixtures(b *testing.B, n int) (*trie.Trie, *trie.Flat, []bitstr.String) {
+	b.Helper()
+	g := workload.New(11)
+	keys := g.VarLen(n, 48, 160)
+	tr := trie.New()
+	for i, k := range keys {
+		tr.Insert(k, uint64(i))
+	}
+	misses := g.FixedLen(len(keys)/8, 96)
+	stream := workload.NewKeyStream(keys, 7, 0)
+	queries := make([]bitstr.String, 1<<16)
+	for i := range queries {
+		if i%8 == 7 {
+			queries[i] = misses[i/8%len(misses)]
+		} else {
+			queries[i] = stream.Next()
+		}
+	}
+	return tr, trie.Flatten(tr), queries
+}
+
+var hostProbeSink uint64
+
+func BenchmarkHostProbePointer(b *testing.B) {
+	tr, _, queries := hostProbeFixtures(b, 100_000)
+	for _, bs := range []int{8, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch-%d", bs), func(b *testing.B) {
+			off := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries[off : off+bs] {
+					if v, ok := tr.Get(q); ok {
+						hostProbeSink += v
+					}
+				}
+				off = (off + bs) % (len(queries) - bs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bs), "ns/key")
+		})
+	}
+}
+
+func BenchmarkHostProbeFlat(b *testing.B) {
+	_, flat, queries := hostProbeFixtures(b, 100_000)
+	for _, bs := range []int{8, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch-%d", bs), func(b *testing.B) {
+			vals := make([]uint64, bs)
+			found := make([]bool, bs)
+			off := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				flat.GetBatch(queries[off:off+bs], vals, found)
+				hostProbeSink += vals[0]
+				off = (off + bs) % (len(queries) - bs)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bs), "ns/key")
+		})
 	}
 }

@@ -111,6 +111,8 @@ func main() {
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
 		srvP  = flag.String("serve", "", "run the concurrent-serving benchmark and write a JSON report to this path (\"-\" for stdout only)")
+		swpP  = flag.String("serve-sweep", "", "sweep the linger/epoch policy space (static grid + adaptive controller) plus the host-probe scenario; write a JSON report to this path (\"-\" for stdout only)")
+		swpB  = flag.String("sweep-baseline", "BENCH_PR6.json", "-serve-sweep: prior -serve report to quote as the delta baseline")
 		conc  = flag.Int("conc", 64, "-serve: closed-loop client goroutines")
 		depth = flag.Int("depth", 32, "-serve: async requests each client keeps in flight (naive baseline always 1)")
 		zipfS = flag.Float64("zipf", 1.0, "-serve: Zipf exponent of the key stream (0 = uniform; values <= 1 clamp to 1.01)")
@@ -187,6 +189,15 @@ func main() {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 		if err := runServeSuite(sc, *conc, *depth, *zipfS, *dur, *lngr, *srvP, plane); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *swpP != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		if err := runServeSweep(sc, *conc, *depth, *zipfS, *dur, *swpP, *swpB, plane); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: serve-sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -77,11 +77,12 @@ type ServeReport struct {
 type serveMode int
 
 const (
-	modeNaive   serveMode = iota // mutex + one-key batches, no Server
-	modeServe                    // coalescing Server, cache off
-	modeMetrics                  // modeServe plus the full telemetry plane
-	modeCache                    // coalescing Server, hot-key cache on
-	modeMixed                    // Server, 90% get / 5% insert / 5% delete
+	modeNaive    serveMode = iota // mutex + one-key batches, no Server
+	modeServe                     // coalescing Server, cache off
+	modeMetrics                   // modeServe plus the full telemetry plane
+	modeCache                     // coalescing Server, hot-key cache on
+	modeMixed                     // Server, 90% get / 5% insert / 5% delete
+	modeAdaptive                  // coalescing Server, adaptive epoch controller
 )
 
 // inflight is one pipelined request a client has submitted but not yet
@@ -120,6 +121,11 @@ func runServeScenario(name string, mode serveMode, sc experiments.Scale, conc, d
 	switch mode {
 	case modeServe, modeMixed:
 		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, MaxLinger: linger})
+	case modeAdaptive:
+		// The controller picks linger and epoch size itself; the -linger
+		// flag is irrelevant here (MaxLinger left 0 selects the adaptive
+		// default cap).
+		srv = serve.NewServer(idx, serve.Options{MaxBatch: maxBatch, AdaptiveLinger: true})
 	case modeMetrics:
 		// Same configuration as modeServe with the whole telemetry plane
 		// attached — serving instruments plus the PIM monitor — so the

@@ -457,16 +457,56 @@ const sortForkGrain = 2048
 
 // strOf abstracts "the bit string of element e": the identity for Sort,
 // a slice lookup for ArgSort. A zero-size receiver keeps the core
-// monomorphic and call-free after inlining.
-type strOf[E any] interface{ at(E) String }
+// monomorphic and call-free after inlining. touch performs the loads
+// chunkOf will need for the element — the software-prefetch point of
+// the partition loop (see prefetchDist).
+type strOf[E any] interface {
+	at(E) String
+	touch(E, int) uint64
+}
 
 type identity struct{}
 
 func (identity) at(s String) String { return s }
 
+func (identity) touch(s String, wordIdx int) uint64 {
+	if wordIdx < len(s.words) {
+		return s.words[wordIdx]
+	}
+	return 0
+}
+
 type argKeys []String
 
 func (k argKeys) at(i int) String { return k[i] }
+
+func (k argKeys) touch(i, wordIdx int) uint64 {
+	s := &k[i]
+	if wordIdx < len(s.words) {
+		return s.words[wordIdx]
+	}
+	return 0
+}
+
+// prefetchDist is how many elements ahead of the partition cursor the
+// chunk word of an upcoming element is loaded. Go has no portable
+// prefetch intrinsic, so the "prefetch" is an early plain load: the
+// String header and its chunk word land in cache a few iterations
+// before chunkOf needs them, and because the touched values feed
+// nothing the loop branches on, out-of-order execution overlaps their
+// misses with the in-flight comparisons. Elements swapped in from the
+// gt side are touched late or not at all — prefetching is best-effort
+// and never affects the permutation.
+const prefetchDist = 8
+
+// prefetchSink defeats dead-load elimination: the partition loop folds
+// every touched word into a local accumulator and conditionally
+// publishes it here behind a compare the compiler cannot resolve. The
+// store is, for all practical purposes, never executed (probability
+// 2⁻⁶⁴ per partition), so concurrent sorters do not race on it.
+var prefetchSink uint64
+
+const sinkSentinel = 0x9e3779b97f4a7c15
 
 // msdSort 3-way-quicksorts es by the (live, reversed-word) chunk at
 // wordIdx: the left and right bands stay at this word, the equal band
@@ -477,7 +517,11 @@ func msdSort[E any, G strOf[E]](g G, es []E, wordIdx, procs int, wg *sync.WaitGr
 	for len(es) > insertionCutoff {
 		pw, plive := chunkOf(g.at(es[(len(es)-1)/2]), wordIdx)
 		lt, gt, i := 0, len(es)-1, 0
+		sink := uint64(0)
 		for i <= gt {
+			if i+prefetchDist <= gt {
+				sink ^= g.touch(es[i+prefetchDist], wordIdx)
+			}
 			kw, klive := chunkOf(g.at(es[i]), wordIdx)
 			switch {
 			case chunkLess(kw, klive, pw, plive):
@@ -490,6 +534,9 @@ func msdSort[E any, G strOf[E]](g G, es []E, wordIdx, procs int, wg *sync.WaitGr
 			default:
 				i++
 			}
+		}
+		if sink == sinkSentinel {
+			prefetchSink = sink
 		}
 		mid, left := es[lt:gt+1], es[:lt]
 		es = es[gt+1:]

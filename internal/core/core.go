@@ -123,12 +123,14 @@ type masterEntry struct {
 	Block  pim.Addr
 }
 
-// masterObj is the per-module master replica.
+// masterObj is the per-module master replica, held in a flat
+// open-addressing table so the master round's grouped probes can issue
+// independent slot loads (see metaTable).
 type masterObj struct {
-	entries map[uint64]masterEntry
+	entries *metaTable
 }
 
-func (m *masterObj) SizeWords() int { return len(m.entries)*metaInfoWords + 1 }
+func (m *masterObj) SizeWords() int { return m.entries.Len()*metaInfoWords + 1 }
 
 // blockObj is a module-resident data-trie block.
 type blockObj struct {
@@ -250,7 +252,7 @@ func New(sys *pim.System, cfg Config) *PIMTrie {
 	defer sys.Phase("init")()
 	// Install empty master replicas and the empty root block + region.
 	resp := sys.Broadcast(1, func(m *pim.Module) pim.Resp {
-		return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: map[uint64]masterEntry{}})}
+		return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: newMetaTable(0)})}
 	})
 	t.masterAddrs = make([]pim.Addr, sys.P())
 	for i, r := range resp {
@@ -332,9 +334,9 @@ func (t *PIMTrie) broadcastMaster() {
 	addrs := t.masterAddrs
 	t.sys.Broadcast(words, func(m *pim.Module) pim.Resp {
 		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
-		mo.entries = make(map[uint64]masterEntry, len(entries))
+		mo.entries = newMetaTable(len(entries))
 		for k, v := range entries {
-			mo.entries[k] = v
+			mo.entries.Put(k, v)
 		}
 		m.Resize(addrs[m.ID()].ID)
 		return pim.Resp{}
@@ -355,10 +357,10 @@ func (t *PIMTrie) masterRemoveAndAdd(drop []uint64, add map[uint64]masterEntry) 
 	t.sys.Broadcast(len(drop)+len(add)*metaInfoWords, func(m *pim.Module) pim.Resp {
 		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
 		for _, h := range drop {
-			delete(mo.entries, h)
+			mo.entries.Delete(h)
 		}
 		for k, v := range add {
-			mo.entries[k] = v
+			mo.entries.Put(k, v)
 		}
 		m.Resize(addrs[m.ID()].ID)
 		return pim.Resp{}
@@ -378,7 +380,7 @@ func (t *PIMTrie) masterDelta(add map[uint64]masterEntry) error {
 	t.sys.Broadcast(len(add)*metaInfoWords, func(m *pim.Module) pim.Resp {
 		mo := m.Get(addrs[m.ID()].ID).(*masterObj)
 		for k, v := range add {
-			mo.entries[k] = v
+			mo.entries.Put(k, v)
 		}
 		m.Resize(addrs[m.ID()].ID)
 		return pim.Resp{}

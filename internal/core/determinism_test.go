@@ -35,6 +35,10 @@ type suiteResult struct {
 // host-side worker count fixed to par. Extra system options (e.g. a
 // fault plan) apply on top of the fixed seed.
 func runOpSuite(par int, sysOpts ...pim.Option) (suiteResult, Health) {
+	return runOpSuiteCfg(par, Config{HashSeed: 1}, sysOpts...)
+}
+
+func runOpSuiteCfg(par int, cfg Config, sysOpts ...pim.Option) (suiteResult, Health) {
 	prev := parallel.SetMaxProcs(par)
 	defer parallel.SetMaxProcs(prev)
 
@@ -53,7 +57,7 @@ func runOpSuite(par int, sysOpts ...pim.Option) (suiteResult, Health) {
 	opts := append([]pim.Option{pim.WithSeed(1), pim.WithMaxParallelism(par)}, sysOpts...)
 	sys := pim.NewSystem(p, opts...)
 	defer sys.Close()
-	pt := New(sys, Config{HashSeed: 1})
+	pt := New(sys, cfg)
 	pt.Build(keys, values)
 
 	var r suiteResult
@@ -99,6 +103,38 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	if !reflect.DeepEqual(serial.stats, wide.stats) {
 		t.Errorf("stats differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
 			serial.stats, wide.stats)
+	}
+}
+
+// TestDeterminismAcrossParallelismPivot covers the grouped probe loops
+// and the flat master table under the §4.4.2 pivot probing path: the
+// batch-interleaved hash windows, the metaTable lookups and the
+// two-layer region index must all yield bit-identical metrics and
+// answers regardless of worker count.
+func TestDeterminismAcrossParallelismPivot(t *testing.T) {
+	cfg := Config{HashSeed: 1, PivotProbing: true}
+	serial, _ := runOpSuiteCfg(1, cfg)
+	serialAgain, _ := runOpSuiteCfg(1, cfg)
+	wide, _ := runOpSuiteCfg(8, cfg)
+
+	if !reflect.DeepEqual(serial, serialAgain) {
+		t.Fatalf("pivot serial run is not reproducible with a fixed seed")
+	}
+	if !reflect.DeepEqual(serial.metrics, wide.metrics) {
+		t.Errorf("pivot metrics differ between 1 and 8 workers:\n serial: %+v\n wide:   %+v",
+			serial.metrics, wide.metrics)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("pivot results differ between 1 and 8 workers")
+	}
+
+	// Pivot probing changes the cost model, not the answers: results must
+	// match the default-path suite bit-for-bit even though metrics differ.
+	base, _ := runOpSuite(1)
+	if !reflect.DeepEqual(serial.lcp1, base.lcp1) || !reflect.DeepEqual(serial.lcp2, base.lcp2) ||
+		!reflect.DeepEqual(serial.values, base.values) || !reflect.DeepEqual(serial.found, base.found) ||
+		!reflect.DeepEqual(serial.deleted, base.deleted) || !reflect.DeepEqual(serial.subtrees, base.subtrees) {
+		t.Errorf("pivot probing changed query answers relative to the default path")
 	}
 }
 

@@ -1,0 +1,126 @@
+package core
+
+// metaTable is the flat open-addressing hash table holding a module's
+// master replica. The builtin map it replaces costs two dependent cache
+// misses per probe (bucket header, then entry) and gives the prober no
+// way to start the next batch's loads early; the flat table keeps every
+// slot in one contiguous array, so (a) a probe is a single indexed
+// access with linear fallback, and (b) Touch lets the grouped probe
+// loop in probeSegments issue the bucket loads of a whole word of
+// upcoming probes back-to-back, overlapping their DRAM misses
+// (memory-level parallelism). Keys are hash outputs (already
+// splitmix-mixed by hashing.Out), so the raw key masks directly to a
+// slot index.
+//
+// Deletion uses backward-shift compaction (no tombstones), so lookup
+// cost never degrades with churn. The table is a module-side replica:
+// probed read-only during match rounds, mutated only in broadcast
+// rounds — never both at once.
+type metaTable struct {
+	slots []metaSlot
+	mask  uint64
+	n     int
+}
+
+type metaSlot struct {
+	key  uint64
+	used bool
+	e    masterEntry
+}
+
+// newMetaTable sizes for at least capacity entries at ≤ 75% load.
+func newMetaTable(capacity int) *metaTable {
+	size := 8
+	for size*3 < capacity*4 {
+		size <<= 1
+	}
+	return &metaTable{slots: make([]metaSlot, size), mask: uint64(size - 1)}
+}
+
+func (t *metaTable) Len() int { return t.n }
+
+// Get returns the entry stored under h.
+func (t *metaTable) Get(h uint64) (masterEntry, bool) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.used {
+			return masterEntry{}, false
+		}
+		if s.key == h {
+			return s.e, true
+		}
+	}
+}
+
+// Touch loads the home slot of h — the early, independent load the
+// grouped probe loop issues for a whole window of probes before any
+// Get. The returned word feeds a sink so the load cannot be
+// dead-code-eliminated.
+func (t *metaTable) Touch(h uint64) uint64 {
+	return t.slots[h&t.mask].key
+}
+
+// Put stores e under h, replacing any existing entry.
+func (t *metaTable) Put(h uint64, e masterEntry) {
+	if uint64(t.n+1)*4 > uint64(len(t.slots))*3 {
+		t.grow()
+	}
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = metaSlot{key: h, used: true, e: e}
+			t.n++
+			return
+		}
+		if s.key == h {
+			s.e = e
+			return
+		}
+	}
+}
+
+// Delete removes h if present, backward-shifting the probe chain so no
+// tombstone is left behind.
+func (t *metaTable) Delete(h uint64) {
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.key == h {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	// Backward-shift: pull every displaced successor into the hole.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		s := &t.slots[j]
+		if !s.used {
+			break
+		}
+		home := s.key & t.mask
+		// s may move into the hole i only if i lies cyclically within
+		// [home, j); otherwise s is already at or past its home.
+		if (j-home)&t.mask >= (j-i)&t.mask {
+			t.slots[i] = *s
+			i = j
+		}
+	}
+	t.slots[i] = metaSlot{}
+	t.n--
+}
+
+func (t *metaTable) grow() {
+	old := t.slots
+	t.slots = make([]metaSlot, len(old)*2)
+	t.mask = uint64(len(t.slots) - 1)
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.Put(old[i].key, old[i].e)
+		}
+	}
+}

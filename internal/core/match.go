@@ -60,16 +60,41 @@ type rawHit struct {
 	info metaInfo
 }
 
+// probeSink defeats dead-load elimination for the grouped probe loop's
+// Touch sweep; the guarded store is never taken in practice, so probes
+// running concurrently on module executors and host workers do not
+// race on it.
+var probeSink uint64
+
+const sinkSentinel = 0x9e3779b97f4a7c15
+
 // probeSegments extends hash values bit-by-bit along each segment and
 // probes every position against lookup, reporting all hits. Every hidden
 // position is probed, so the extension stays per-bit; the label bits are
 // pulled one packed word at a time instead of through per-bit BitAt
-// calls. work is charged one unit per probe plus one per 8 bits hashed
-// (the byte-table hashing cost of the unoptimized Algorithm 3; the pivot
-// optimization of §4.4.2 would reduce the probe count to one per w
-// bits).
-func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaInfo, bool), work func(int)) []rawHit {
+// calls.
+//
+// The probes of one ≤w-bit window run in three grouped passes so their
+// cache misses overlap instead of serializing (memory-level
+// parallelism): first the serial hash extension — pure ALU work — fills
+// stack arrays with the window's probe keys; then, when the lookup
+// target supports it, a touch sweep issues the home-slot load of every
+// key back-to-back (all independent, so the memory system runs them
+// concurrently); finally the probe pass resolves each key in position
+// order. Hit order and work accounting are bit-identical to the
+// straight-line loop: one work unit per probe plus one per 8 bits
+// hashed (the byte-table hashing cost of the unoptimized Algorithm 3;
+// the pivot optimization of §4.4.2 reduces the probe count to one per w
+// bits instead).
+//
+// touch may be nil when the lookup target has no useful early-load form
+// (e.g. a pointer-chasing map). Scratch lives on the stack because
+// probeSegments runs concurrently on module executors and host workers.
+func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaInfo, bool), touch func(uint64) uint64, work func(int)) []rawHit {
 	var hits []rawHit
+	var outs [bitstr.WordBits]uint64
+	var vals [bitstr.WordBits]hashing.Value
+	sink := uint64(0)
 	for _, s := range segs {
 		v := s.startVal
 		l := s.edge.Label
@@ -79,15 +104,33 @@ func probeSegments(h *hashing.Hasher, segs []segment, lookup func(uint64) (metaI
 				to = s.end
 			}
 			w := l.RangeWord(i, to)
-			for ; i < to; i++ {
+			k := to - i
+			// Pass 1: serial hash extension into the window arrays.
+			for j := 0; j < k; j++ {
 				v = h.ExtendBit(v, byte(w&1))
 				w >>= 1
-				if info, ok := lookup(h.Out(v)); ok {
-					hits = append(hits, rawHit{edge: s.edge, off: i + 1, val: v, info: info})
+				vals[j] = v
+				outs[j] = h.Out(v)
+			}
+			// Pass 2: independent early loads of every probe's bucket.
+			if touch != nil {
+				for j := 0; j < k; j++ {
+					sink ^= touch(outs[j])
 				}
 			}
+			// Pass 3: resolve probes in position order (hit order is part
+			// of the determinism contract — dedupeHits keeps the first).
+			for j := 0; j < k; j++ {
+				if info, ok := lookup(outs[j]); ok {
+					hits = append(hits, rawHit{edge: s.edge, off: i + j + 1, val: vals[j], info: info})
+				}
+			}
+			i = to
 		}
 		work((s.end-s.off)/8 + (s.end - s.off) + 1)
+	}
+	if sink == sinkSentinel {
+		probeSink = sink
 	}
 	return hits
 }
@@ -214,7 +257,7 @@ func (t *PIMTrie) regionProbe(segs []segment, reg *hvm.Region, regAddr pim.Addr,
 			return metaInfo{}, false
 		}
 		return metaInfo{Hash: h, Len: n.Len, SLast: n.SLast, Block: n.Block, Region: regAddr}, true
-	}, work)
+	}, nil, work)
 }
 
 // prep is the host-side preparation of one batch (phase A). hashes is
@@ -287,12 +330,12 @@ func (t *PIMTrie) match(p *prep) (*matchOutcome, error) {
 			Run: func(m *pim.Module) pim.Resp {
 				mo := m.Get(addrs[m.ID()].ID).(*masterObj)
 				hits := probeSegments(t.h, ch, func(h uint64) (metaInfo, bool) {
-					e, ok := mo.entries[h]
+					e, ok := mo.entries.Get(h)
 					if !ok {
 						return metaInfo{}, false
 					}
 					return metaInfo{Hash: h, Len: e.Len, SLast: e.SLast, Block: e.Block, Region: e.Region}, true
-				}, m.Work)
+				}, mo.entries.Touch, m.Work)
 				return pim.Resp{RecvWords: len(hits)*metaInfoWords + 1, Value: hits}
 			},
 		}
@@ -620,6 +663,13 @@ func (t *PIMTrie) dedupeHits(hits []hitRec) []hitRec {
 // chunkEdges splits the query trie's edges into chunks of bounded words
 // for the master round. Chunk storage is recycled across batches: the
 // chunks only live until the master round's responses are in.
+//
+// It iterates the flattened preorder scaffolding NodeHashes built (one
+// linear array scan instead of a recursive pointer walk), with a
+// lookahead touch of upcoming nodes — the grouping path's prefetch
+// point. The edge order is exactly the recursive walk's (both child
+// edges of a node, in bit order, before descending), which the RNG
+// draw order of chunk target modules depends on.
 func (t *PIMTrie) chunkEdges(p *prep) [][]segment {
 	arena := t.segArena
 	n := 0 // completed chunks
@@ -631,10 +681,15 @@ func (t *PIMTrie) chunkEdges(p *prep) [][]segment {
 	}
 	cur := grab()
 	words := 0
-	p.qt.Trie.WalkPreorder(func(nd *trie.Node) bool {
+	pre := p.qt.PreNodes
+	sink := uint64(0)
+	for i, nd := range pre {
+		if j := i + chunkLookahead; j < len(pre) {
+			sink ^= uint64(touchNode(pre[j]))
+		}
 		for b := 0; b < 2; b++ {
 			if e := nd.Child[b]; e != nil {
-				s := segment{edge: e, off: 0, end: e.Label.Len(), startVal: p.hashes[nd.Index]}
+				s := segment{edge: e, off: 0, end: e.Label.Len(), startVal: p.hashes[i]}
 				cur = append(cur, s)
 				words += s.words()
 				if words >= t.cfg.MasterChunkWords {
@@ -644,14 +699,33 @@ func (t *PIMTrie) chunkEdges(p *prep) [][]segment {
 				}
 			}
 		}
-		return true
-	})
+	}
+	if sink == sinkSentinel {
+		probeSink = sink
+	}
 	if len(cur) > 0 {
 		arena[n] = cur
 		n++
 	}
 	t.segArena = arena
 	return arena[:n]
+}
+
+// chunkLookahead is the preorder lookahead distance of chunkEdges'
+// touch; see bitstr's prefetch notes.
+const chunkLookahead = 4
+
+// touchNode reads the fields of an upcoming node that the chunking
+// loop will need (child edges and their label lengths) so the loads
+// are in flight early; the value is discarded into a sink.
+func touchNode(n *trie.Node) int {
+	v := 0
+	for b := 0; b < 2; b++ {
+		if e := n.Child[b]; e != nil {
+			v += e.Label.Len()
+		}
+	}
+	return v
 }
 
 // piece is the query-trie region below one hit, truncated at deeper

@@ -178,7 +178,7 @@ func (t *PIMTrie) reallocMasters(dead []int) {
 	tasks := make([]pim.Task, len(dead))
 	for i, mi := range dead {
 		tasks[i] = pim.Task{Module: mi, SendWords: 1, Run: func(m *pim.Module) pim.Resp {
-			return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: map[uint64]masterEntry{}})}
+			return pim.Resp{RecvWords: 1, Value: m.Alloc(&masterObj{entries: newMetaTable(0)})}
 		}}
 	}
 	for i, r := range t.sys.Round(tasks) {
@@ -193,10 +193,16 @@ func (t *PIMTrie) reallocMasters(dead []int) {
 func (t *PIMTrie) rebuildFromShadow() {
 	full := trie.New()
 	w := 0
-	for _, kv := range t.shadow.Keys() {
-		full.Insert(kv.Key, kv.Value)
-		w += kv.Key.Words() + 1
-	}
+	// Walk a flattened snapshot of the shadow: key reconstruction from
+	// the label pool is O(total label bits), where the pointer walk pays
+	// a Concat chain per root-to-leaf path. Keys arrive in the same
+	// lexicographic order, and the accounting below only depends on the
+	// keys themselves, so the model cost is unchanged.
+	shadowFlat := trie.Flatten(t.shadow)
+	shadowFlat.WalkKeys(func(key bitstr.String, value uint64) {
+		full.Insert(key, value)
+		w += key.Words() + 1
+	})
 	t.sys.CPUWork(w)
 	t.nKeys = full.KeyCount()
 	t.dirty = 0 // entering loadFromTrie's own dirty window from a clean slate
@@ -252,6 +258,13 @@ func (t *PIMTrie) rebuildLost(dead []int) {
 			lostIdx = append(lostIdx, i)
 		}
 	}
+	// Snapshot the shadow once: every lost block re-derivation below
+	// queries SubtreeKeys against the flattened arrays instead of
+	// chasing pointers through the full shadow per block.
+	var shadowFlat *trie.Flat
+	if len(lostIdx) > 0 {
+		shadowFlat = trie.Flatten(t.shadow)
+	}
 
 	// Re-derive each lost block host-side: its keys are the shadow keys
 	// below its root that are not below any child block root, inserted
@@ -273,7 +286,7 @@ func (t *PIMTrie) rebuildLost(dead []int) {
 			childRel[ci] = ents[c].str.Suffix(e.str.Len())
 		}
 		nkeys := 0
-		for _, kv := range t.shadow.SubtreeKeys(e.str) {
+		for _, kv := range shadowFlat.SubtreeKeys(e.str) {
 			rel := kv.Key.Suffix(e.str.Len())
 			under := false
 			for _, cr := range childRel {

@@ -219,11 +219,11 @@ func (t *PIMTrie) Validate() error {
 	// Master replicas must match the host copy.
 	for i := 0; i < t.sys.P(); i++ {
 		mo := t.sys.Module(i).Get(t.masterAddrs[i].ID).(*masterObj)
-		if len(mo.entries) != len(t.master) {
-			return fmt.Errorf("module %d master replica has %d entries, host %d", i, len(mo.entries), len(t.master))
+		if mo.entries.Len() != len(t.master) {
+			return fmt.Errorf("module %d master replica has %d entries, host %d", i, mo.entries.Len(), len(t.master))
 		}
 		for h, e := range t.master {
-			if me, ok := mo.entries[h]; !ok || me.Region != e.Region || me.Block != e.Block {
+			if me, ok := mo.entries.Get(h); !ok || me.Region != e.Region || me.Block != e.Block {
 				return fmt.Errorf("module %d master replica diverges at %#x", i, h)
 			}
 		}

@@ -179,3 +179,36 @@ func BenchmarkBuild4k(b *testing.B) {
 		Build(batch)
 	}
 }
+
+func TestPreorderScaffolding(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	batch := make([]bitstr.String, 300)
+	for i := range batch {
+		batch[i] = bitstr.MustParse(randomKey(r, 120))
+	}
+	qt := Build(batch)
+	qt.Trie.SplitLongEdges(64) // restructure after Build, as core does
+	qt.NodeHashes(hashing.New(9, 0), nil)
+
+	i := 0
+	qt.Trie.WalkPreorder(func(n *trie.Node) bool {
+		if i >= len(qt.PreNodes) || qt.PreNodes[i] != n {
+			t.Fatalf("PreNodes[%d] is not the %d-th preorder node", i, i)
+		}
+		if n.Index != i {
+			t.Fatalf("node Index %d at preorder position %d", n.Index, i)
+		}
+		par := int32(-1)
+		if n.Parent != nil {
+			par = int32(n.Parent.Index)
+		}
+		if qt.PreParent[i] != par {
+			t.Fatalf("PreParent[%d] = %d, want %d", i, qt.PreParent[i], par)
+		}
+		i++
+		return true
+	})
+	if i != len(qt.PreNodes) {
+		t.Fatalf("scaffolding has %d nodes, walk saw %d", len(qt.PreNodes), i)
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+// The adaptive epoch controller (Options.AdaptiveLinger). The static
+// MaxLinger knob forces one trade for every load level: a long linger
+// buys big epochs (throughput) but taxes every light-load request with
+// idle wait; a short one keeps p50 low but fragments bursts into small
+// epochs that waste the index's batch economics. The controller picks
+// the linger and target epoch size per plan instead, from two live
+// estimates:
+//
+//   - the arrival rate λ (keys/sec), an EWMA folded on every admission
+//     and naturally decaying toward zero while the queues are idle;
+//   - the epoch service-time model D ≈ A + B·K, fit online from
+//     (unique keys, execution wall time) samples of committed epochs
+//     via exponentially-weighted least squares.
+//
+// The policy is the group-commit stability argument: an epoch of K
+// keys sustains K/(A+B·K) keys/sec, so steady state needs
+// K ≥ λA/(1−λB). The controller targets that point with headroom
+// margin m:
+//
+//	K* = m·λ·A / (1 − λ·B)
+//
+// When K* falls below the minimum epoch the system is underloaded and
+// batching buys nothing — linger collapses to MinLinger so p50 tracks
+// the raw service time. When λ·B approaches 1 no epoch size can keep
+// up (overload) — the target pins to MaxBatch and linger to the cap,
+// maximizing throughput. In between, linger is the time to gather K*
+// keys at the observed rate: K*/λ, clamped to [MinLinger, MaxLinger].
+// λ is discounted by the observed singleflight dedupe fraction, since
+// deduplicated keys cost admission but no index work.
+//
+// All state lives behind the controller's own mutex; callers never
+// hold s.mu across controller calls. Methods take explicit times so
+// tests drive the controller on a synthetic clock.
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/pimlab/pimtrie/internal/metrics"
+)
+
+const (
+	// adaptiveMinEpoch is the epoch size below which batching is treated
+	// as pointless: targets under this collapse linger to MinLinger.
+	adaptiveMinEpoch = 8
+	// adaptiveRateTau is the arrival-rate EWMA time constant.
+	adaptiveRateTau = 25 * time.Millisecond
+	// adaptiveRateQuantum batches same-instant admissions into one rate
+	// sample, keeping instantaneous rates finite under bursts.
+	adaptiveRateQuantum = 100 * time.Microsecond
+	// adaptiveFitAlpha weights each new (keys, duration) epoch sample in
+	// the service-model moments.
+	adaptiveFitAlpha = 0.15
+	// adaptiveMargin is the stability headroom m applied to the minimal
+	// sustainable epoch size.
+	adaptiveMargin = 1.5
+	// adaptiveMinFitSamples gates the slope fit: below this the model
+	// falls back to B=0, A=mean epoch duration.
+	adaptiveMinFitSamples = 4
+	// defaultAdaptiveMaxLinger caps adaptive linger when Options.MaxLinger
+	// is left zero.
+	defaultAdaptiveMaxLinger = 5 * time.Millisecond
+)
+
+// adaptiveController owns the linger/epoch-size policy state.
+type adaptiveController struct {
+	mu sync.Mutex
+
+	minLinger time.Duration
+	maxLinger time.Duration
+	maxBatch  int
+
+	// Arrival-rate EWMA: keys admitted since last fold, fold time, rate.
+	accum float64
+	last  time.Time
+	rate  float64 // keys/sec
+
+	// Dedupe fraction EWMA: share of admitted read keys absorbed by
+	// singleflight, so λ can be discounted to executed-key terms.
+	dedupe float64
+
+	// Service-model EWMA moments over (K, D) epoch samples.
+	mk, md, mkk, mkd float64
+	samples          int
+
+	// Current policy outputs, recomputed by plan().
+	curLinger time.Duration
+	curTarget int
+
+	// Gauges (nil without a registry): controller state on /metrics.
+	gLinger  *metrics.Gauge
+	gTarget  *metrics.Gauge
+	gRate    *metrics.Gauge
+	gBase    *metrics.Gauge
+	gPerKey  *metrics.Gauge
+	gOverRun *metrics.Gauge
+}
+
+func newAdaptiveController(opts Options, reg *metrics.Registry) *adaptiveController {
+	a := &adaptiveController{
+		minLinger: opts.MinLinger,
+		maxLinger: opts.MaxLinger,
+		maxBatch:  opts.MaxBatch,
+		curLinger: opts.MinLinger,
+		curTarget: adaptiveMinEpoch,
+	}
+	if reg != nil {
+		a.gLinger = reg.Gauge("pimtrie_serve_adaptive_linger_seconds",
+			"linger currently chosen by the adaptive epoch controller")
+		a.gTarget = reg.Gauge("pimtrie_serve_adaptive_target_epoch_keys",
+			"epoch size currently targeted by the adaptive controller")
+		a.gRate = reg.Gauge("pimtrie_serve_adaptive_arrival_keys_per_second",
+			"EWMA key arrival rate driving the adaptive controller")
+		a.gBase = reg.Gauge("pimtrie_serve_adaptive_service_base_seconds",
+			"fitted per-epoch fixed service cost A in D = A + B*K")
+		a.gPerKey = reg.Gauge("pimtrie_serve_adaptive_service_per_key_seconds",
+			"fitted per-key service cost B in D = A + B*K")
+		a.gOverRun = reg.Gauge("pimtrie_serve_adaptive_overload",
+			"1 while the controller sees arrivals exceed index capacity")
+	}
+	return a
+}
+
+// noteArrival records nkeys admitted at time now and folds the rate
+// EWMA once enough wall time separates it from the previous fold.
+func (a *adaptiveController) noteArrival(nkeys int, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.last.IsZero() {
+		a.last = now
+	}
+	a.accum += float64(nkeys)
+	a.foldLocked(now)
+}
+
+// foldLocked blends accumulated arrivals into the rate EWMA. The blend
+// weight grows with the elapsed window — w = Δt/(Δt+τ) — so an idle
+// stretch (accum 0, Δt large) decays the rate toward zero without a
+// timer.
+func (a *adaptiveController) foldLocked(now time.Time) {
+	el := now.Sub(a.last)
+	if el < adaptiveRateQuantum {
+		return
+	}
+	els := el.Seconds()
+	inst := a.accum / els
+	w := els / (els + adaptiveRateTau.Seconds())
+	a.rate = (1-w)*a.rate + w*inst
+	a.accum = 0
+	a.last = now
+}
+
+// noteDedupe folds one read sub-batch's admitted/unique key counts into
+// the dedupe-fraction EWMA.
+func (a *adaptiveController) noteDedupe(admitted, uniq int) {
+	if admitted <= 0 {
+		return
+	}
+	frac := float64(admitted-uniq) / float64(admitted)
+	a.mu.Lock()
+	a.dedupe = (1-adaptiveFitAlpha)*a.dedupe + adaptiveFitAlpha*frac
+	a.mu.Unlock()
+}
+
+// noteEpoch folds one committed epoch's (unique keys, execution time)
+// into the service-model moments.
+func (a *adaptiveController) noteEpoch(keys int, d time.Duration) {
+	if keys <= 0 {
+		return
+	}
+	k, t := float64(keys), d.Seconds()
+	a.mu.Lock()
+	if a.samples == 0 {
+		a.mk, a.md, a.mkk, a.mkd = k, t, k*k, k*t
+	} else {
+		const α = adaptiveFitAlpha
+		a.mk = (1-α)*a.mk + α*k
+		a.md = (1-α)*a.md + α*t
+		a.mkk = (1-α)*a.mkk + α*k*k
+		a.mkd = (1-α)*a.mkd + α*k*t
+	}
+	a.samples++
+	a.mu.Unlock()
+}
+
+// fitLocked recovers (A, B) from the EWMA moments. A degenerate spread
+// of epoch sizes (all epochs the same K) leaves the slope unknowable;
+// the fit then attributes everything to the fixed cost.
+func (a *adaptiveController) fitLocked() (base, perKey float64) {
+	variance := a.mkk - a.mk*a.mk
+	if a.samples >= adaptiveMinFitSamples && variance > 1e-9 {
+		perKey = (a.mkd - a.mk*a.md) / variance
+		if perKey < 0 || math.IsNaN(perKey) {
+			perKey = 0
+		}
+		base = a.md - perKey*a.mk
+	} else {
+		base = a.md
+	}
+	if base < 1e-6 {
+		base = 1e-6 // floor: a zero fixed cost would zero every target
+	}
+	return base, perKey
+}
+
+// plan recomputes the policy from the current estimates and returns
+// (linger, target epoch keys). Called by the batcher each time it
+// decides whether to hold an epoch open.
+func (a *adaptiveController) plan(now time.Time) (time.Duration, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.foldLocked(now)
+
+	// λ in executed-key terms: admitted keys discounted by the share
+	// singleflight absorbs before the index sees them.
+	lambda := a.rate * (1 - a.dedupe)
+	base, perKey := a.fitLocked()
+
+	linger := a.minLinger
+	target := adaptiveMinEpoch
+	overload := false
+	switch {
+	case lambda <= 0:
+		// Idle: dispatch immediately.
+	case lambda*perKey >= 1/adaptiveMargin:
+		// Overload (with margin): no epoch size keeps up; max the batch
+		// and hold the linger cap for throughput.
+		target, linger, overload = a.maxBatch, a.maxLinger, true
+	default:
+		kRaw := adaptiveMargin * lambda * base / (1 - lambda*perKey)
+		if kRaw > adaptiveMinEpoch {
+			target = int(math.Ceil(kRaw))
+			if target > a.maxBatch {
+				target = a.maxBatch
+			}
+			linger = time.Duration(float64(target) / lambda * float64(time.Second))
+			if linger < a.minLinger {
+				linger = a.minLinger
+			}
+			if linger > a.maxLinger {
+				linger = a.maxLinger
+			}
+		}
+	}
+	a.curLinger, a.curTarget = linger, target
+
+	if a.gLinger != nil {
+		a.gLinger.Set(linger.Seconds())
+		a.gTarget.Set(float64(target))
+		a.gRate.Set(a.rate)
+		a.gBase.Set(base)
+		a.gPerKey.Set(perKey)
+		if overload {
+			a.gOverRun.Set(1)
+		} else {
+			a.gOverRun.Set(0)
+		}
+	}
+	return linger, target
+}
+
+// snapshot returns the most recently planned (linger, target) without
+// refitting — the cheap read used by fullLocked checks between plans.
+func (a *adaptiveController) snapshot() (time.Duration, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.curLinger, a.curTarget
+}

@@ -1,0 +1,87 @@
+package serve_test
+
+// Black-box integration of the adaptive epoch controller: a real
+// Server under real traffic must expose the controller's state as
+// lint-clean gauges and keep every response serially consistent (the
+// soak covers consistency; this test covers the metric surface).
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pimlab/pimtrie/internal/metrics"
+	"github.com/pimlab/pimtrie/internal/serve"
+	"github.com/pimlab/pimtrie/internal/telemetry"
+)
+
+func TestAdaptiveGaugesExposed(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, _, pool := newServed(t, 8, 256, serve.Options{
+		MaxBatch:       128,
+		AdaptiveLinger: true,
+		Metrics:        reg,
+	})
+
+	// Enough concurrent traffic that the controller folds arrivals, fits
+	// the service model, and plans at least once.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				k := pool[(off*53+it)%len(pool)]
+				if _, _, err := srv.GetAsync(k).Wait(); err != nil {
+					t.Errorf("get: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	srv.Close()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"# TYPE pimtrie_serve_adaptive_linger_seconds gauge",
+		"# TYPE pimtrie_serve_adaptive_target_epoch_keys gauge",
+		"# TYPE pimtrie_serve_adaptive_arrival_keys_per_second gauge",
+		"# TYPE pimtrie_serve_adaptive_service_base_seconds gauge",
+		"# TYPE pimtrie_serve_adaptive_service_per_key_seconds gauge",
+		"# TYPE pimtrie_serve_adaptive_overload gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if problems := telemetry.LintExposition(body); len(problems) > 0 {
+		t.Errorf("exposition lint: %v", problems)
+	}
+}
+
+// TestAdaptiveDefaults pins the option plumbing: adaptive mode fills in
+// the linger cap, and plain mode is untouched by the new fields.
+func TestAdaptiveDefaults(t *testing.T) {
+	srv, _, pool := newServed(t, 4, 32, serve.Options{AdaptiveLinger: true})
+	if _, _, err := srv.GetAsync(pool[0]).Wait(); err != nil {
+		t.Fatalf("adaptive server refused a request: %v", err)
+	}
+	srv.Close()
+
+	// MinLinger respected as the light-load floor: a lone request on an
+	// idle adaptive server must not wait out a multi-millisecond linger.
+	srv2, _, pool2 := newServed(t, 4, 32, serve.Options{AdaptiveLinger: true, MaxLinger: 50 * time.Millisecond})
+	start := time.Now()
+	if _, _, err := srv2.GetAsync(pool2[0]).Wait(); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Errorf("idle adaptive request took %v; light load should not pay the 50ms linger cap", el)
+	}
+	srv2.Close()
+}

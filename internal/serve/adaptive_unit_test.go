@@ -1,0 +1,177 @@
+package serve
+
+// White-box tests for the adaptive epoch controller: the policy is
+// driven on a synthetic clock, so every regime — idle, light load,
+// sustained burst, overload — is exercised deterministically, without
+// sleeping or real traffic.
+
+import (
+	"testing"
+	"time"
+)
+
+func testController(maxBatch int, minLinger, maxLinger time.Duration) *adaptiveController {
+	return newAdaptiveController(Options{
+		MaxBatch:       maxBatch,
+		MinLinger:      minLinger,
+		MaxLinger:      maxLinger,
+		AdaptiveLinger: true,
+	}, nil)
+}
+
+// feedService teaches the controller the service model D = base + perKey·K
+// with enough spread in K for the slope fit to lock in.
+func feedService(a *adaptiveController, base, perKey time.Duration) {
+	for i := 0; i < 8; i++ {
+		k := 16 << (i % 4) // 16, 32, 64, 128
+		d := base + time.Duration(k)*perKey
+		a.noteEpoch(k, d)
+	}
+}
+
+// feedArrivals pushes keys at the given rate for the given span and
+// returns the clock after the last arrival.
+func feedArrivals(a *adaptiveController, start time.Time, rate float64, span time.Duration) time.Time {
+	step := time.Millisecond
+	if rate*step.Seconds() < 1 {
+		step = time.Duration(float64(time.Second) / rate) // one key per step
+	}
+	keys := int(rate*step.Seconds() + 0.5)
+	now := start
+	for el := time.Duration(0); el < span; el += step {
+		now = start.Add(el)
+		a.noteArrival(keys, now)
+	}
+	return now
+}
+
+func TestAdaptiveIdleDispatchesImmediately(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	feedService(a, 500*time.Microsecond, 2*time.Microsecond)
+	base := time.Unix(0, 0)
+	linger, target := a.plan(base.Add(time.Second))
+	if linger != 0 {
+		t.Errorf("idle linger = %v, want 0", linger)
+	}
+	if target != adaptiveMinEpoch {
+		t.Errorf("idle target = %d, want %d", target, adaptiveMinEpoch)
+	}
+}
+
+func TestAdaptiveLightLoadKeepsMinLinger(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	feedService(a, 500*time.Microsecond, 2*time.Microsecond)
+	// 100 keys/sec against a ~2000 keys/sec single-key service rate:
+	// batching buys nothing, linger must stay at the floor.
+	now := feedArrivals(a, time.Unix(0, 0), 100, 200*time.Millisecond)
+	linger, target := a.plan(now)
+	if linger != 0 {
+		t.Errorf("light-load linger = %v, want 0", linger)
+	}
+	if target != adaptiveMinEpoch {
+		t.Errorf("light-load target = %d, want %d", target, adaptiveMinEpoch)
+	}
+}
+
+func TestAdaptiveBurstGrowsEpochs(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	feedService(a, 500*time.Microsecond, 2*time.Microsecond)
+	// 100k keys/sec: λA = 50, λB = 0.2 — far past single-key capacity
+	// but sustainable with big epochs. The target must leave the floor
+	// and linger must become positive yet capped.
+	now := feedArrivals(a, time.Unix(0, 0), 100_000, 200*time.Millisecond)
+	linger, target := a.plan(now)
+	if target <= adaptiveMinEpoch {
+		t.Fatalf("burst target = %d, want > %d", target, adaptiveMinEpoch)
+	}
+	if linger <= 0 || linger > 5*time.Millisecond {
+		t.Errorf("burst linger = %v, want in (0, 5ms]", linger)
+	}
+	// Stability: the chosen epoch must sustain the arrival rate.
+	base, perKey := 500*time.Microsecond.Seconds(), 2*time.Microsecond.Seconds()
+	sustain := float64(target) / (base + float64(target)*perKey)
+	if sustain < 100_000*0.9 {
+		t.Errorf("target %d sustains only %.0f keys/sec against λ=100000", target, sustain)
+	}
+}
+
+func TestAdaptiveOverloadPinsMaxBatch(t *testing.T) {
+	a := testController(256, 0, 5*time.Millisecond)
+	// perKey = 100µs → capacity < 10k keys/sec at any epoch size.
+	feedService(a, time.Millisecond, 100*time.Microsecond)
+	now := feedArrivals(a, time.Unix(0, 0), 50_000, 200*time.Millisecond)
+	linger, target := a.plan(now)
+	if target != 256 {
+		t.Errorf("overload target = %d, want MaxBatch=256", target)
+	}
+	if linger != 5*time.Millisecond {
+		t.Errorf("overload linger = %v, want the 5ms cap", linger)
+	}
+}
+
+func TestAdaptiveRateDecaysWhenIdle(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	feedService(a, 500*time.Microsecond, 2*time.Microsecond)
+	now := feedArrivals(a, time.Unix(0, 0), 100_000, 100*time.Millisecond)
+	if _, target := a.plan(now); target <= adaptiveMinEpoch {
+		t.Fatalf("burst did not raise the target")
+	}
+	// A long silent gap must decay the rate and collapse the policy.
+	linger, target := a.plan(now.Add(2 * time.Second))
+	if target != adaptiveMinEpoch || linger != 0 {
+		t.Errorf("after idle gap: linger=%v target=%d, want 0 and %d", linger, target, adaptiveMinEpoch)
+	}
+}
+
+func TestAdaptiveFitRecoversServiceModel(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	const base, perKey = 800e-6, 3e-6 // seconds
+	for i := 0; i < 40; i++ {
+		k := 8 << (i % 5) // 8..128
+		a.noteEpoch(k, time.Duration((base+perKey*float64(k))*1e9))
+	}
+	a.mu.Lock()
+	gotBase, gotPerKey := a.fitLocked()
+	a.mu.Unlock()
+	if gotBase < base*0.8 || gotBase > base*1.2 {
+		t.Errorf("fitted base %.6f, want ≈ %.6f", gotBase, base)
+	}
+	if gotPerKey < perKey*0.8 || gotPerKey > perKey*1.2 {
+		t.Errorf("fitted perKey %.8f, want ≈ %.8f", gotPerKey, perKey)
+	}
+}
+
+func TestAdaptiveDegenerateFitFallsBack(t *testing.T) {
+	a := testController(1024, 0, 5*time.Millisecond)
+	// Constant epoch size: the slope is unknowable; everything must be
+	// attributed to the fixed cost, never a NaN or negative slope.
+	for i := 0; i < 10; i++ {
+		a.noteEpoch(64, time.Millisecond)
+	}
+	a.mu.Lock()
+	base, perKey := a.fitLocked()
+	a.mu.Unlock()
+	if perKey != 0 {
+		t.Errorf("degenerate fit slope = %v, want 0", perKey)
+	}
+	if base < 0.9e-3 || base > 1.1e-3 {
+		t.Errorf("degenerate fit base = %v, want ≈ 1ms", base)
+	}
+}
+
+func TestAdaptiveDedupeDiscountsRate(t *testing.T) {
+	plain := testController(1024, 0, 5*time.Millisecond)
+	deduped := testController(1024, 0, 5*time.Millisecond)
+	feedService(plain, 500*time.Microsecond, 2*time.Microsecond)
+	feedService(deduped, 500*time.Microsecond, 2*time.Microsecond)
+	for i := 0; i < 50; i++ {
+		deduped.noteDedupe(100, 20) // 80% of admitted keys absorbed
+	}
+	nowP := feedArrivals(plain, time.Unix(0, 0), 60_000, 150*time.Millisecond)
+	nowD := feedArrivals(deduped, time.Unix(0, 0), 60_000, 150*time.Millisecond)
+	_, tPlain := plain.plan(nowP)
+	_, tDeduped := deduped.plan(nowD)
+	if tDeduped >= tPlain {
+		t.Errorf("dedupe-aware target %d not below plain target %d", tDeduped, tPlain)
+	}
+}

@@ -82,7 +82,8 @@ type Server struct {
 	demand   chan struct{} // executor's request for the next plan
 	wg       sync.WaitGroup
 
-	met *serveMetrics // nil unless Options.Metrics is set
+	met *serveMetrics       // nil unless Options.Metrics is set
+	ctl *adaptiveController // nil unless Options.AdaptiveLinger is set
 
 	// health is the post-epoch Index.Health sample behind Server.Health;
 	// written only by the goroutine that owns the index.
@@ -105,6 +106,9 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 	}
 	if s.opts.Metrics != nil {
 		s.met = newServeMetrics(s.opts.Metrics)
+	}
+	if s.opts.AdaptiveLinger {
+		s.ctl = newAdaptiveController(s.opts, s.opts.Metrics)
 	}
 	s.sampleHealth() // baseline before the scheduler goroutines exist
 	if !s.opts.NoPipeline {
@@ -204,6 +208,11 @@ func (s *Server) submit(op Op, keys []Key, values []uint64) *future {
 		s.met.queueDepth.Add(1)
 	}
 	s.mu.Unlock()
+	if s.ctl != nil {
+		// Only enqueued work counts toward the arrival rate; cache hits
+		// and trivial requests never cost the index an epoch slot.
+		s.ctl.noteArrival(len(keys), c.enq)
+	}
 	s.kickBatcher()
 	return f
 }
@@ -341,9 +350,9 @@ func (s *Server) pendingLocked() (n int, oldest time.Time) {
 	return n, oldest
 }
 
-// fullLocked reports whether any queue already holds a full epoch's
-// worth of keys, which cuts the linger short.
-func (s *Server) fullLocked() bool {
+// fullLocked reports whether any queue already holds target keys —
+// a full epoch's worth — which cuts the linger short.
+func (s *Server) fullLocked(target int) bool {
 	count := func(q []*call) int {
 		n := 0
 		for _, c := range q {
@@ -352,11 +361,21 @@ func (s *Server) fullLocked() bool {
 		return n
 	}
 	for op := range s.readQ {
-		if count(s.readQ[op]) >= s.opts.MaxBatch {
+		if count(s.readQ[op]) >= target {
 			return true
 		}
 	}
-	return count(s.writeQ) >= s.opts.MaxBatch
+	return count(s.writeQ) >= target
+}
+
+// lingerPolicy returns the linger bound and the epoch-key target that
+// cuts it short: the static options, or the adaptive controller's
+// current plan.
+func (s *Server) lingerPolicy() (time.Duration, int) {
+	if s.ctl != nil {
+		return s.ctl.plan(time.Now())
+	}
+	return s.opts.MaxLinger, s.opts.MaxBatch
 }
 
 // nextPlan blocks until requests are pending (respecting the linger
@@ -378,8 +397,8 @@ func (s *Server) nextPlan() *epochPlan {
 			}
 			continue
 		}
-		if s.opts.MaxLinger > 0 && !s.closed && !s.fullLocked() {
-			wait := s.opts.MaxLinger - time.Since(oldest)
+		if linger, target := s.lingerPolicy(); linger > 0 && !s.closed && !s.fullLocked(target) {
+			wait := linger - time.Since(oldest)
 			if wait > 0 {
 				s.mu.Unlock()
 				t := time.NewTimer(wait)
@@ -515,6 +534,9 @@ func (s *Server) formReadLocked() *epochPlan {
 			admitted += len(c.keys)
 		}
 		s.stats.DedupedKeys += uint64(admitted - len(rb.uniq))
+		if s.ctl != nil {
+			s.ctl.noteDedupe(admitted, len(rb.uniq))
+		}
 		if s.met != nil {
 			s.met.deduped.Add(uint64(admitted - len(rb.uniq)))
 			s.met.epochKeys.Observe(float64(len(rb.uniq)))
@@ -571,6 +593,12 @@ func (s *Server) prepare(plan *epochPlan) {
 // futures instead of killing the scheduler.
 func (s *Server) execute(plan *epochPlan) {
 	defer s.sampleHealth()
+	if s.ctl != nil {
+		start := time.Now()
+		defer func() {
+			s.ctl.noteEpoch(planUniqueKeys(plan), time.Since(start))
+		}()
+	}
 	if s.met != nil {
 		start := time.Now()
 		s.met.stageBusy[stageExecute].Set(1)
@@ -625,6 +653,19 @@ func (s *Server) executeWrite(plan *epochPlan) {
 			close(c.fut.done)
 		}
 	}
+}
+
+// planUniqueKeys is the number of unique keys an epoch sends to the
+// index — the K of the adaptive controller's service-time samples.
+func planUniqueKeys(plan *epochPlan) int {
+	if plan.write {
+		return len(plan.keys)
+	}
+	n := 0
+	for op := range plan.reads {
+		n += len(plan.reads[op].uniq)
+	}
+	return n
 }
 
 // slabKeys sums the requested key counts of a sub-batch's calls, so

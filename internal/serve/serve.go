@@ -84,8 +84,21 @@ type Options struct {
 	// MaxLinger bounds how long the batcher holds a non-full epoch open
 	// for more requests before dispatching it. The default 0 dispatches as
 	// soon as the executor frees up; coalescing then comes purely from
-	// executor backpressure, adding no idle latency.
+	// executor backpressure, adding no idle latency. With AdaptiveLinger
+	// set it is the upper clamp on the controller's choice instead
+	// (default then 5ms).
 	MaxLinger time.Duration
+	// AdaptiveLinger replaces the static MaxLinger policy with the
+	// adaptive epoch controller: linger and target epoch size are chosen
+	// per epoch from the observed arrival rate and a live fit of the
+	// index's epoch service time, collapsing to MinLinger under light
+	// load and growing toward MaxBatch/MaxLinger under bursts. See
+	// adaptive.go for the policy.
+	AdaptiveLinger bool
+	// MinLinger is the lower clamp on the adaptive controller's linger
+	// (default 0: dispatch immediately when underloaded). Ignored
+	// without AdaptiveLinger.
+	MinLinger time.Duration
 	// CacheSize enables the hot-key read cache with room for that many
 	// entries (default 0: disabled). Cached Get/LCP results are stamped
 	// with the write-epoch counter and invalidated by any later write
@@ -111,6 +124,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
+	}
+	if o.AdaptiveLinger && o.MaxLinger <= 0 {
+		o.MaxLinger = defaultAdaptiveMaxLinger
 	}
 	return o
 }

@@ -111,6 +111,7 @@ func TestServeSoak(t *testing.T) {
 		{"pipelined", serve.Options{MaxBatch: 64, RecordHistory: true}},
 		{"linger+cache", serve.Options{MaxBatch: 64, MaxLinger: time.Millisecond, CacheSize: 256, RecordHistory: true}},
 		{"no-pipeline", serve.Options{MaxBatch: 32, NoPipeline: true, RecordHistory: true}},
+		{"adaptive", serve.Options{MaxBatch: 64, AdaptiveLinger: true, CacheSize: 128, RecordHistory: true}},
 	}
 	for _, tc := range configs {
 		t.Run(tc.name, func(t *testing.T) {
