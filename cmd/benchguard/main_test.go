@@ -71,6 +71,90 @@ func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
 	}
 }
 
+const oldJSON = `{
+  "zipf": 0.99,
+  "scaling": [
+    {"name": "scale/1", "shards": 1, "wall_ops_per_sec": 50000, "model_ops_per_kunit": 32.0},
+    {"name": "scale/4", "shards": 4, "wall_ops_per_sec": 47000, "model_ops_per_kunit": 52.0}
+  ],
+  "migration": {
+    "uniform":     {"name": "mig/uniform", "model_ops_per_kunit": 46.0, "wall_ops_per_sec": 37000},
+    "hot_static":  {"name": "mig/hot-static", "model_ops_per_kunit": 22.0, "wall_ops_per_sec": 45000}
+  },
+  "gone": {"name": "old-only", "ops_per_sec": 123.0}
+}`
+
+const newJSON = `{
+  "scaling": [
+    {"name": "scale/1", "shards": 1, "wall_ops_per_sec": 51000, "model_ops_per_kunit": 31.5},
+    {"name": "scale/4", "shards": 4, "wall_ops_per_sec": 30000, "model_ops_per_kunit": 51.0}
+  ],
+  "migration": {
+    "uniform":     {"name": "mig/uniform", "model_ops_per_kunit": 45.0, "wall_ops_per_sec": 36500},
+    "hot_static":  {"name": "mig/hot-static", "model_ops_per_kunit": 21.5, "wall_ops_per_sec": 44000}
+  },
+  "fresh": {"name": "new-only", "ops_per_sec": 55.0}
+}`
+
+func TestParseJSONReportCollectsGauges(t *testing.T) {
+	m, err := parseJSONReport(writeTemp(t, "old.json", oldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"scale/4 wall_ops_per_sec":        47000,
+		"scale/4 model_ops_per_kunit":     52.0,
+		"mig/uniform model_ops_per_kunit": 46.0,
+		"old-only ops_per_sec":            123.0,
+	} {
+		got, ok := m[key]
+		if !ok || len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %v, want [%v]", key, got, want)
+		}
+	}
+	if _, ok := m["scale/4 zipf"]; ok {
+		t.Errorf("non-gauge field collected")
+	}
+}
+
+func TestCompareJSONFlagsThroughputDrops(t *testing.T) {
+	old, err := parseJSONReport(writeTemp(t, "old.json", oldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := parseJSONReport(writeTemp(t, "new.json", newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, regressed := compareJSON(old, neu, 10)
+	// Only scale/4 wall ops dropped beyond 10% (47000 -> 30000, -36%);
+	// every other gauge wobbles within threshold.
+	if len(regressed) != 1 || regressed[0] != "scale/4 wall_ops_per_sec" {
+		t.Fatalf("regressed = %v, want exactly the scale/4 wall gauge", regressed)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"old-only ops_per_sec", // only in old: reported, skipped
+		"new-only ops_per_sec", // no baseline: never fails
+		"REGRESSED",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Count(joined, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED line:\n%s", joined)
+	}
+}
+
+func TestCompareJSONImprovementNeverFails(t *testing.T) {
+	old := map[string][]float64{"x ops_per_sec": {100}}
+	neu := map[string][]float64{"x ops_per_sec": {500}}
+	if _, regressed := compareJSON(old, neu, 10); len(regressed) != 0 {
+		t.Errorf("a 5x improvement must not trip the gate: %v", regressed)
+	}
+}
+
 func TestCompareThresholdBoundary(t *testing.T) {
 	old := map[string][]float64{"BenchmarkX-8": {1000}}
 	neu := map[string][]float64{"BenchmarkX-8": {1100}}

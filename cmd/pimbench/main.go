@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -112,6 +113,8 @@ func main() {
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
 		srvP  = flag.String("serve", "", "run the concurrent-serving benchmark and write a JSON report to this path (\"-\" for stdout only)")
 		swpP  = flag.String("serve-sweep", "", "sweep the linger/epoch policy space (static grid + adaptive controller) plus the host-probe scenario; write a JSON report to this path (\"-\" for stdout only)")
+		shdP  = flag.String("shards", "", "run the sharded scale-out benchmark (scaling curve + hot-range migration) and write a JSON report to this path (\"-\" for stdout only)")
+		shdC  = flag.String("shard-counts", "1,2,4,8", "-shards: comma-separated shard counts of the scaling curve")
 		swpB  = flag.String("sweep-baseline", "BENCH_PR6.json", "-serve-sweep: prior -serve report to quote as the delta baseline")
 		conc  = flag.Int("conc", 64, "-serve: closed-loop client goroutines")
 		depth = flag.Int("depth", 32, "-serve: async requests each client keeps in flight (naive baseline always 1)")
@@ -198,6 +201,24 @@ func main() {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 		if err := runServeSweep(sc, *conc, *depth, *zipfS, *dur, *swpP, *swpB, plane); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: serve-sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shdP != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		var counts []int
+		for _, s := range strings.Split(*shdC, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "pimbench: bad -shard-counts entry %q\n", s)
+				os.Exit(1)
+			}
+			counts = append(counts, v)
+		}
+		if err := runShardSuite(sc, *conc, *depth, *zipfS, *dur, *lngr, counts, *shdP); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: shards: %v\n", err)
 			os.Exit(1)
 		}
 		return

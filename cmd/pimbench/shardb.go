@@ -1,0 +1,360 @@
+package main
+
+// Sharded scale-out benchmark (-shards): closed-loop clients hammer a
+// shard.Router at several shard counts, then a skew scenario measures
+// hot-range migration end-to-end.
+//
+// Throughput is reported in two currencies. Wall-clock ops/sec is what
+// the host actually served — on a small machine it conflates simulator
+// CPU contention with real scaling, so it understates sharding badly
+// when GOMAXPROCS is low (N shards are N simulated PIM systems
+// time-sharing the same cores). PIM Model throughput is the paper's
+// currency: each shard's busy model time (IOTime + PIMTime diff over
+// the window) is what its PIM hardware would spend, shards run in
+// parallel in a real deployment, so the window's makespan is the
+// maximum over shards and model throughput is requests/makespan. The
+// scaling headline (SpeedupVs1) is the model number; both are
+// published.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/serve"
+	"github.com/pimlab/pimtrie/internal/shard"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// ShardPhase is one measured traffic window against one router.
+type ShardPhase struct {
+	Name     string `json:"name"`
+	Shards   int    `json:"shards"`
+	Requests int64  `json:"requests"`
+	// WallOpsPerSec is host throughput (simulator CPU bound).
+	WallOpsPerSec float64 `json:"wall_ops_per_sec"`
+	// ModelBusy is each shard's busy model time (IOTime+PIMTime) in the
+	// window; ModelMakespan is their max — the window's duration on
+	// parallel PIM hardware; ModelOpsPerKUnit is requests per thousand
+	// model time units of makespan, the scaling currency.
+	ModelBusy        []int64 `json:"model_busy"`
+	ModelMakespan    int64   `json:"model_makespan"`
+	ModelOpsPerKUnit float64 `json:"model_ops_per_kunit"`
+	// ModelImbalance is max/mean over per-shard busy model time.
+	ModelImbalance float64        `json:"model_imbalance"`
+	Latency        LatencySummary `json:"latency"`
+	Migrations     uint64         `json:"migrations,omitempty"`
+	MovedKeys      uint64         `json:"moved_keys,omitempty"`
+}
+
+// ShardScalePoint is one shard count of the scaling curve.
+type ShardScalePoint struct {
+	ShardPhase
+	// SpeedupVs1 is this point's model throughput over the 1-shard
+	// point's; WallSpeedupVs1 the same in wall clock.
+	SpeedupVs1     float64 `json:"speedup_vs_1"`
+	WallSpeedupVs1 float64 `json:"wall_speedup_vs_1"`
+}
+
+// ShardMigrationReport is the skew scenario: a 90% hot range on a
+// contiguous-partitioned router, measured without and with migration.
+type ShardMigrationReport struct {
+	// Uniform is the no-skew baseline; HotStatic the hotspot with
+	// migration off (the damage); HotMigrated the hotspot after the
+	// migration loop settled (the recovery).
+	Uniform     ShardPhase `json:"uniform"`
+	HotStatic   ShardPhase `json:"hot_static"`
+	HotMigrated ShardPhase `json:"hot_migrated"`
+	// DamageRatio = HotStatic/Uniform and RecoveryRatio =
+	// HotMigrated/Uniform, both in model throughput.
+	DamageRatio   float64 `json:"damage_ratio"`
+	RecoveryRatio float64 `json:"recovery_ratio"`
+}
+
+// ShardReport is the file format of -shards output (BENCH_PR8.json).
+type ShardReport struct {
+	Scale       experiments.Scale `json:"scale"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	When        string            `json:"when"`
+	Concurrency int               `json:"concurrency"`
+	Depth       int               `json:"pipeline_depth"`
+	Zipf        float64           `json:"zipf"`
+	DurationSec float64           `json:"duration_sec"`
+	RouteBits   int               `json:"route_bits"`
+	Partitioner string            `json:"partitioner"`
+
+	Scaling []ShardScalePoint `json:"scaling"`
+	// ModelSpeedupAt4 / WallSpeedupAt4 quote the 4-shard point (0 when
+	// 4 is not among the measured counts).
+	ModelSpeedupAt4 float64              `json:"model_speedup_at_4"`
+	WallSpeedupAt4  float64              `json:"wall_speedup_at_4"`
+	Migration       ShardMigrationReport `json:"migration"`
+}
+
+const shardRouteBits = 8
+
+// buildShardRouter constructs a loaded router over the standard key
+// population.
+func buildShardRouter(sc experiments.Scale, shards, conc, depth int, part shard.Partitioner, linger time.Duration, mig shard.Migration) (*shard.Router, []pimtrie.Key) {
+	g := workload.New(sc.Seed + 6)
+	keys := g.VarLen(sc.N, 48, 192)
+	maxBatch := conc * depth
+	if maxBatch < sc.Batch {
+		maxBatch = sc.Batch
+	}
+	r := shard.New(shard.Config{
+		Shards:      shards,
+		RouteBits:   shardRouteBits,
+		Partitioner: part,
+		Modules:     sc.P,
+		Index:       pimtrie.Options{Seed: sc.Seed},
+		Serve:       serve.Options{MaxBatch: maxBatch, MaxLinger: linger},
+		Migration:   mig,
+	})
+	chunk := 4096
+	vals := g.Values(len(keys))
+	for i := 0; i < len(keys); i += chunk {
+		j := i + chunk
+		if j > len(keys) {
+			j = len(keys)
+		}
+		if err := r.Insert(keys[i:j], vals[i:j]); err != nil {
+			panic(fmt.Sprintf("shard bench load: %v", err))
+		}
+	}
+	return r, keys
+}
+
+// runShardPhase drives conc closed-loop clients (depth pipelined
+// single-key Gets each, keys drawn by nextFor) for dur and measures the
+// window in both currencies.
+func runShardPhase(name string, r *shard.Router, conc, depth int, dur time.Duration, nextFor func(w int) func() pimtrie.Key) ShardPhase {
+	statsBefore := r.Stats()
+	busyBefore := shardBusy(r.ShardMetrics())
+	var stop atomic.Bool
+	var total atomic.Int64
+	lats := make([]*latencyRecorder, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		lat := &latencyRecorder{}
+		lats[w] = lat
+		next := nextFor(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			window := make([]inflight, depth)
+			pending, head := 0, 0
+			n := int64(0)
+			for !stop.Load() {
+				if pending == depth {
+					h := window[head]
+					head = (head + 1) % depth
+					pending--
+					h.wait()
+					lat.observe(time.Since(h.start))
+					n++
+				}
+				f := r.GetAsync(next())
+				window[(head+pending)%depth] = inflight{start: time.Now(), wait: func() { f.Wait() }}
+				pending++
+			}
+			// Drained requests executed inside the measured window (their
+			// model cost is in the busy deltas), so they count; only
+			// their latency is uninteresting.
+			for i := 0; i < pending; i++ {
+				window[(head+i)%depth].wait()
+				n++
+			}
+			total.Add(n)
+		}()
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := dur.Seconds()
+
+	busyAfter := shardBusy(r.ShardMetrics())
+	statsAfter := r.Stats()
+	out := ShardPhase{
+		Name:       name,
+		Shards:     r.Shards(),
+		Requests:   total.Load(),
+		Migrations: statsAfter.Migrations - statsBefore.Migrations,
+		MovedKeys:  statsAfter.MovedKeys - statsBefore.MovedKeys,
+	}
+	out.WallOpsPerSec = float64(out.Requests) / elapsed
+	out.ModelBusy = make([]int64, len(busyAfter))
+	var sum int64
+	for i := range busyAfter {
+		out.ModelBusy[i] = busyAfter[i] - busyBefore[i]
+		sum += out.ModelBusy[i]
+		if out.ModelBusy[i] > out.ModelMakespan {
+			out.ModelMakespan = out.ModelBusy[i]
+		}
+	}
+	if out.ModelMakespan > 0 {
+		out.ModelOpsPerKUnit = 1000 * float64(out.Requests) / float64(out.ModelMakespan)
+	}
+	if sum > 0 {
+		mean := float64(sum) / float64(len(busyAfter))
+		out.ModelImbalance = float64(out.ModelMakespan) / mean
+	}
+	all := &latencyRecorder{}
+	all.merge(lats...)
+	out.Latency = all.summary()
+	return out
+}
+
+func shardBusy(ms []pimtrie.Metrics) []int64 {
+	out := make([]int64, len(ms))
+	for i, m := range ms {
+		out[i] = m.IOTime + m.PIMTime
+	}
+	return out
+}
+
+func showShardPhase(p ShardPhase) {
+	fmt.Printf("%-16s %d shards %9.0f wall ops/s  %8.1f ops/kunit  makespan %11d  imbal %.2f  p99 %8s",
+		p.Name, p.Shards, p.WallOpsPerSec, p.ModelOpsPerKUnit, p.ModelMakespan, p.ModelImbalance,
+		time.Duration(int64(p.Latency.P99Ns)).Round(time.Microsecond))
+	if p.Migrations > 0 {
+		fmt.Printf("  migrations %d (%d keys)", p.Migrations, p.MovedKeys)
+	}
+	fmt.Println()
+}
+
+// runShardSuite executes the scaling curve and the migration scenario
+// and writes the JSON report to path ("-" for stdout-only).
+func runShardSuite(sc experiments.Scale, conc, depth int, zipfS float64, dur, linger time.Duration, counts []int, path string) error {
+	rep := ShardReport{
+		Scale:       sc,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		When:        time.Now().UTC().Format(time.RFC3339),
+		Concurrency: conc,
+		Depth:       depth,
+		Zipf:        zipfS,
+		DurationSec: dur.Seconds(),
+		RouteBits:   shardRouteBits,
+		Partitioner: shard.HashedPrefix{}.Name(),
+	}
+	fmt.Printf("shards: %d clients x depth %d, Zipf(%.2f), %v per phase, route bits %d, P=%d n=%d (GOMAXPROCS=%d)\n",
+		conc, depth, zipfS, dur, shardRouteBits, sc.P, sc.N, rep.GoMaxProcs)
+	fmt.Println("model currency: busy = IOTime+PIMTime per shard, makespan = max over shards (shards are parallel PIM systems)")
+	fmt.Println()
+
+	// Scaling curve: hashed-prefix partitioning, Zipfian traffic.
+	var base ShardScalePoint
+	for _, n := range counts {
+		r, keys := buildShardRouter(sc, n, conc, depth, shard.HashedPrefix{Seed: sc.Seed}, linger, shard.Migration{})
+		phase := runShardPhase(fmt.Sprintf("scale/%d", n), r, conc, depth, dur, func(w int) func() pimtrie.Key {
+			st := workload.NewKeyStream(keys, int64(1000+w), zipfS)
+			return func() pimtrie.Key { return st.Next() }
+		})
+		r.Close()
+		pt := ShardScalePoint{ShardPhase: phase}
+		if len(rep.Scaling) == 0 {
+			base = pt // counts start at the single-shard baseline
+		}
+		if base.ModelOpsPerKUnit > 0 {
+			pt.SpeedupVs1 = pt.ModelOpsPerKUnit / base.ModelOpsPerKUnit
+		}
+		if base.WallOpsPerSec > 0 {
+			pt.WallSpeedupVs1 = pt.WallOpsPerSec / base.WallOpsPerSec
+		}
+		showShardPhase(pt.ShardPhase)
+		if n == 4 {
+			rep.ModelSpeedupAt4, rep.WallSpeedupAt4 = pt.SpeedupVs1, pt.WallSpeedupVs1
+		}
+		rep.Scaling = append(rep.Scaling, pt)
+	}
+	if rep.ModelSpeedupAt4 > 0 {
+		fmt.Printf("\n4-shard speedup vs 1: %.2fx model, %.2fx wall\n\n", rep.ModelSpeedupAt4, rep.WallSpeedupAt4)
+	}
+
+	// Migration scenario: contiguous partitioning so a lexicographic hot
+	// range concentrates on one shard, 90% of traffic inside 1/8th of
+	// the sorted key space.
+	const (
+		migShards = 4
+		hotFrac   = 0.9
+		hotRanges = 8
+	)
+	hotStreams := func(keys []pimtrie.Key, hot int) func(w int) func() pimtrie.Key {
+		return func(w int) func() pimtrie.Key {
+			hs := workload.NewHotRangeStream(keys, int64(3000+w), hotFrac, hotRanges, 0)
+			hs.SetHot(hot)
+			return func() pimtrie.Key { return hs.Next() }
+		}
+	}
+	uniformStreams := func(keys []pimtrie.Key) func(w int) func() pimtrie.Key {
+		return func(w int) func() pimtrie.Key {
+			st := workload.NewKeyStream(keys, int64(4000+w), 0)
+			return func() pimtrie.Key { return st.Next() }
+		}
+	}
+
+	// Static router: uniform baseline, then the hotspot damage.
+	rs, keys := buildShardRouter(sc, migShards, conc, depth, shard.Contiguous{}, linger, shard.Migration{})
+	rep.Migration.Uniform = runShardPhase("mig/uniform", rs, conc, depth, dur, uniformStreams(keys))
+	showShardPhase(rep.Migration.Uniform)
+	rep.Migration.HotStatic = runShardPhase("mig/hot-static", rs, conc, depth, dur, hotStreams(keys, 2))
+	showShardPhase(rep.Migration.HotStatic)
+	rs.Close()
+
+	// Migrating router: let the loop settle on the hotspot, then
+	// measure. The policy windows are deliberately long relative to the
+	// barrier stall a migration causes (draining conc*depth pipelined
+	// requests): short windows right after a stall measure the bursty
+	// backlog drain, not steady state, and make the policy chase phantom
+	// imbalance. MinKeys likewise demands a few pipeline-fills of signal
+	// before acting.
+	rm, keys := buildShardRouter(sc, migShards, conc, depth, shard.Contiguous{}, linger,
+		shard.Migration{Enabled: true, Interval: 250 * time.Millisecond, Threshold: 1.15,
+			MaxMoves: 32, MinKeys: uint64(4 * conc * depth)})
+	settle := 3 * dur
+	if settle < 3*time.Second {
+		settle = 3 * time.Second
+	}
+	_ = runShardPhase("mig/settle", rm, conc, depth, settle, hotStreams(keys, 2))
+	settled := rm.Stats()
+	rep.Migration.HotMigrated = runShardPhase("mig/hot-migrated", rm, conc, depth, dur, hotStreams(keys, 2))
+	end := rm.Stats()
+	// Migrations/MovedKeys for this phase are the measure-window deltas;
+	// the settle moves are the interesting part of convergence, so print
+	// both.
+	rep.Migration.HotMigrated.Migrations = end.Migrations - settled.Migrations
+	rep.Migration.HotMigrated.MovedKeys = end.MovedKeys - settled.MovedKeys
+	showShardPhase(rep.Migration.HotMigrated)
+	fmt.Printf("  settle moved %d slots (%d keys); measure window moved %d slots (%d keys)\n",
+		settled.Migrations, settled.MovedKeys,
+		rep.Migration.HotMigrated.Migrations, rep.Migration.HotMigrated.MovedKeys)
+	rm.Close()
+
+	if u := rep.Migration.Uniform.ModelOpsPerKUnit; u > 0 {
+		rep.Migration.DamageRatio = rep.Migration.HotStatic.ModelOpsPerKUnit / u
+		rep.Migration.RecoveryRatio = rep.Migration.HotMigrated.ModelOpsPerKUnit / u
+	}
+	fmt.Printf("\nhotspot damage: %.2fx of uniform model throughput without migration; %.2fx with migration\n\n",
+		rep.Migration.DamageRatio, rep.Migration.RecoveryRatio)
+
+	if path == "" || path == "-" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

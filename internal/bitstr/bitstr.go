@@ -271,6 +271,28 @@ func (s String) Prefix(n int) String { return s.Slice(0, n) }
 // Suffix returns the bits from position n to the end.
 func (s String) Suffix(n int) String { return s.Slice(n, s.n) }
 
+// PrefixIndex returns the first min(bits, Len) bits of s as the HIGH
+// bits of a bits-wide integer, zero-padded on the right for shorter
+// strings, so numeric order of indexes agrees with lexicographic order
+// of the underlying prefixes: FromUint64(v, bits).PrefixIndex(bits) ==
+// v, and every extension of s maps into the contiguous index range
+// [PrefixIndex(s), PrefixIndex(s) + 2^(bits-Len)). It is the routing
+// primitive of prefix-range partitioning (internal/shard) and of the
+// serving layer's per-prefix load counters. bits must be in [1, 63].
+func (s String) PrefixIndex(width int) int {
+	if width < 1 || width > 63 {
+		panic(fmt.Sprintf("bitstr: PrefixIndex width %d out of range [1,63]", width))
+	}
+	n := s.n
+	if n > width {
+		n = width
+	}
+	if n == 0 {
+		return 0
+	}
+	return int(bits.Reverse64(s.RangeWord(0, n)) >> uint(64-width))
+}
+
 // Concat returns the concatenation s·t.
 func (s String) Concat(t String) String {
 	if t.n == 0 {

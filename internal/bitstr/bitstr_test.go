@@ -394,3 +394,45 @@ func BenchmarkSort1k(b *testing.B) {
 		Sort(cp)
 	}
 }
+
+func TestPrefixIndex(t *testing.T) {
+	// Round trip: FromUint64(v, bits).PrefixIndex(bits) == v.
+	for _, bits := range []int{1, 3, 8, 13} {
+		for v := 0; v < 1<<uint(bits); v += 1 + v/7 {
+			if got := FromUint64(uint64(v), bits).PrefixIndex(bits); got != v {
+				t.Fatalf("PrefixIndex(FromUint64(%d,%d)) = %d", v, bits, got)
+			}
+		}
+	}
+	// Short strings pad zeros on the right: "1" at 3 bits indexes 0b100.
+	if got := MustParse("1").PrefixIndex(3); got != 4 {
+		t.Fatalf("PrefixIndex(1, 3) = %d, want 4", got)
+	}
+	if got := Empty.PrefixIndex(5); got != 0 {
+		t.Fatalf("PrefixIndex(empty, 5) = %d, want 0", got)
+	}
+	// Longer strings use only their first bits bits.
+	if got := MustParse("1100101").PrefixIndex(3); got != 6 {
+		t.Fatalf("PrefixIndex(1100101, 3) = %d, want 6", got)
+	}
+	// Numeric order of indexes agrees with lexicographic key order, and
+	// extensions of s land in [idx, idx + 2^(bits-len)).
+	r := rand.New(rand.NewSource(9))
+	const bits = 6
+	for i := 0; i < 200; i++ {
+		a := randomRef(r, 1+r.Intn(20)).toBitstr()
+		b := randomRef(r, 1+r.Intn(20)).toBitstr()
+		ia, ib := a.PrefixIndex(bits), b.PrefixIndex(bits)
+		if Compare(a, b) < 0 && ia > ib {
+			t.Fatalf("order violated: %v(%d) < %v(%d)", a, ia, b, ib)
+		}
+		span := 1
+		if a.Len() < bits {
+			span = 1 << uint(bits-a.Len())
+		}
+		ext := a.Concat(randomRef(r, r.Intn(16)).toBitstr())
+		if ie := ext.PrefixIndex(bits); ie < ia || ie >= ia+span {
+			t.Fatalf("extension index %d outside [%d,%d)", ie, ia, ia+span)
+		}
+	}
+}

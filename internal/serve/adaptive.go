@@ -99,7 +99,7 @@ type adaptiveController struct {
 	gOverRun *metrics.Gauge
 }
 
-func newAdaptiveController(opts Options, reg *metrics.Registry) *adaptiveController {
+func newAdaptiveController(opts Options, reg *metrics.Registry, labels []metrics.Label) *adaptiveController {
 	a := &adaptiveController{
 		minLinger: opts.MinLinger,
 		maxLinger: opts.MaxLinger,
@@ -109,17 +109,17 @@ func newAdaptiveController(opts Options, reg *metrics.Registry) *adaptiveControl
 	}
 	if reg != nil {
 		a.gLinger = reg.Gauge("pimtrie_serve_adaptive_linger_seconds",
-			"linger currently chosen by the adaptive epoch controller")
+			"linger currently chosen by the adaptive epoch controller", labels...)
 		a.gTarget = reg.Gauge("pimtrie_serve_adaptive_target_epoch_keys",
-			"epoch size currently targeted by the adaptive controller")
+			"epoch size currently targeted by the adaptive controller", labels...)
 		a.gRate = reg.Gauge("pimtrie_serve_adaptive_arrival_keys_per_second",
-			"EWMA key arrival rate driving the adaptive controller")
+			"EWMA key arrival rate driving the adaptive controller", labels...)
 		a.gBase = reg.Gauge("pimtrie_serve_adaptive_service_base_seconds",
-			"fitted per-epoch fixed service cost A in D = A + B*K")
+			"fitted per-epoch fixed service cost A in D = A + B*K", labels...)
 		a.gPerKey = reg.Gauge("pimtrie_serve_adaptive_service_per_key_seconds",
-			"fitted per-key service cost B in D = A + B*K")
+			"fitted per-key service cost B in D = A + B*K", labels...)
 		a.gOverRun = reg.Gauge("pimtrie_serve_adaptive_overload",
-			"1 while the controller sees arrivals exceed index capacity")
+			"1 while the controller sees arrivals exceed index capacity", labels...)
 	}
 	return a
 }

@@ -16,7 +16,7 @@ func testController(maxBatch int, minLinger, maxLinger time.Duration) *adaptiveC
 		MinLinger:      minLinger,
 		MaxLinger:      maxLinger,
 		AdaptiveLinger: true,
-	}, nil)
+	}, nil, nil)
 }
 
 // feedService teaches the controller the service model D = base + perKey·K

@@ -58,39 +58,46 @@ type serveMetrics struct {
 	recoveryIO   *metrics.Counter
 }
 
-func newServeMetrics(reg *metrics.Registry) *serveMetrics {
-	m := &serveMetrics{
-		queueDepth:  reg.Gauge("pimtrie_serve_queue_depth", "requests admitted but not yet formed into an epoch"),
-		linger:      reg.Histogram("pimtrie_serve_linger_seconds", "time a request waited in the queue before its epoch formed"),
-		epochKeys:   reg.Histogram("pimtrie_serve_epoch_keys", "unique keys per executed sub-batch"),
-		readEpochs:  reg.Counter("pimtrie_serve_read_epochs_total", "committed read epochs"),
-		writeEpochs: reg.Counter("pimtrie_serve_write_epochs_total", "committed write epochs"),
-		deduped:     reg.Counter("pimtrie_serve_read_keys_deduped_total", "read keys absorbed by singleflight dedupe within an epoch"),
-		dedupRatio:  reg.Gauge("pimtrie_serve_read_dedupe_ratio", "cumulative fraction of epoch-admitted read keys absorbed by dedupe"),
-		cacheHits:   reg.Counter("pimtrie_serve_cache_hits_total", "read requests served entirely from the hot-key cache"),
-		cacheMisses: reg.Counter("pimtrie_serve_cache_misses_total", "cacheable read requests that reached the queues"),
-		cacheAdmits: reg.Counter("pimtrie_serve_cache_admissions_total", "read results admitted into the hot-key cache"),
-		prepareSec:  reg.Histogram("pimtrie_serve_prepare_seconds", "host-side preparation time per epoch (pipeline stage A)"),
-		executeSec:  reg.Histogram("pimtrie_serve_execute_seconds", "index execution time per epoch (pipeline stage B)"),
-		degraded:    reg.Gauge("pimtrie_index_degraded", "1 while a module-loss recovery is in progress"),
-		deadModules: reg.Gauge("pimtrie_index_dead_modules", "currently crash-stopped modules"),
-		recoveries:  reg.Counter("pimtrie_index_recoveries_total", "completed module-loss recoveries"),
-		fullRebuilds: reg.Counter("pimtrie_index_full_rebuilds_total",
-			"recoveries that rebuilt the whole index from the host shadow"),
-		modulesLost: reg.Counter("pimtrie_index_modules_lost_total", "modules lost across all recoveries"),
-		recoveryIO:  reg.Counter("pimtrie_index_recovery_io_words_total", "model IO words spent on repairs"),
+func newServeMetrics(reg *metrics.Registry, base []metrics.Label) *serveMetrics {
+	// lbl appends the per-instrument labels to the server-wide base set
+	// (e.g. shard="3" under a sharding router) in a fresh slice.
+	lbl := func(ls ...metrics.Label) []metrics.Label {
+		out := make([]metrics.Label, 0, len(base)+len(ls))
+		out = append(out, base...)
+		return append(out, ls...)
 	}
-	m.stageBusy[stagePrepare] = reg.Gauge("pimtrie_serve_stage_busy", "1 while the pipeline stage is working", metrics.L("stage", "prepare"))
-	m.stageBusy[stageExecute] = reg.Gauge("pimtrie_serve_stage_busy", "1 while the pipeline stage is working", metrics.L("stage", "execute"))
+	m := &serveMetrics{
+		queueDepth:  reg.Gauge("pimtrie_serve_queue_depth", "requests admitted but not yet formed into an epoch", lbl()...),
+		linger:      reg.Histogram("pimtrie_serve_linger_seconds", "time a request waited in the queue before its epoch formed", lbl()...),
+		epochKeys:   reg.Histogram("pimtrie_serve_epoch_keys", "unique keys per executed sub-batch", lbl()...),
+		readEpochs:  reg.Counter("pimtrie_serve_read_epochs_total", "committed read epochs", lbl()...),
+		writeEpochs: reg.Counter("pimtrie_serve_write_epochs_total", "committed write epochs", lbl()...),
+		deduped:     reg.Counter("pimtrie_serve_read_keys_deduped_total", "read keys absorbed by singleflight dedupe within an epoch", lbl()...),
+		dedupRatio:  reg.Gauge("pimtrie_serve_read_dedupe_ratio", "cumulative fraction of epoch-admitted read keys absorbed by dedupe", lbl()...),
+		cacheHits:   reg.Counter("pimtrie_serve_cache_hits_total", "read requests served entirely from the hot-key cache", lbl()...),
+		cacheMisses: reg.Counter("pimtrie_serve_cache_misses_total", "cacheable read requests that reached the queues", lbl()...),
+		cacheAdmits: reg.Counter("pimtrie_serve_cache_admissions_total", "read results admitted into the hot-key cache", lbl()...),
+		prepareSec:  reg.Histogram("pimtrie_serve_prepare_seconds", "host-side preparation time per epoch (pipeline stage A)", lbl()...),
+		executeSec:  reg.Histogram("pimtrie_serve_execute_seconds", "index execution time per epoch (pipeline stage B)", lbl()...),
+		degraded:    reg.Gauge("pimtrie_index_degraded", "1 while a module-loss recovery is in progress", lbl()...),
+		deadModules: reg.Gauge("pimtrie_index_dead_modules", "currently crash-stopped modules", lbl()...),
+		recoveries:  reg.Counter("pimtrie_index_recoveries_total", "completed module-loss recoveries", lbl()...),
+		fullRebuilds: reg.Counter("pimtrie_index_full_rebuilds_total",
+			"recoveries that rebuilt the whole index from the host shadow", lbl()...),
+		modulesLost: reg.Counter("pimtrie_index_modules_lost_total", "modules lost across all recoveries", lbl()...),
+		recoveryIO:  reg.Counter("pimtrie_index_recovery_io_words_total", "model IO words spent on repairs", lbl()...),
+	}
+	m.stageBusy[stagePrepare] = reg.Gauge("pimtrie_serve_stage_busy", "1 while the pipeline stage is working", lbl(metrics.L("stage", "prepare"))...)
+	m.stageBusy[stageExecute] = reg.Gauge("pimtrie_serve_stage_busy", "1 while the pipeline stage is working", lbl(metrics.L("stage", "execute"))...)
 	for op := Op(0); op < numOps; op++ {
 		l := metrics.L("op", op.String())
-		m.requests[op] = reg.Counter("pimtrie_serve_requests_total", "admitted requests (calls, not keys); rate() gives per-op arrival rate", l)
-		m.keysReq[op] = reg.Counter("pimtrie_serve_keys_requested_total", "keys across admitted requests", l)
-		m.keysExec[op] = reg.Counter("pimtrie_serve_keys_executed_total", "unique keys sent to the index", l)
-		m.latency[op] = reg.Histogram("pimtrie_serve_request_seconds", "end-to-end request latency, admission to resolution", l)
+		m.requests[op] = reg.Counter("pimtrie_serve_requests_total", "admitted requests (calls, not keys); rate() gives per-op arrival rate", lbl(l)...)
+		m.keysReq[op] = reg.Counter("pimtrie_serve_keys_requested_total", "keys across admitted requests", lbl(l)...)
+		m.keysExec[op] = reg.Counter("pimtrie_serve_keys_executed_total", "unique keys sent to the index", lbl(l)...)
+		m.latency[op] = reg.Histogram("pimtrie_serve_request_seconds", "end-to-end request latency, admission to resolution", lbl(l)...)
 	}
 	for kind, name := range [...]string{"crash", "straggle", "truncate"} {
-		m.faults[kind] = reg.Counter("pimtrie_index_faults_total", "injected faults observed, by kind", metrics.L("kind", name))
+		m.faults[kind] = reg.Counter("pimtrie_index_faults_total", "injected faults observed, by kind", lbl(metrics.L("kind", name))...)
 	}
 	return m
 }
@@ -150,9 +157,13 @@ func (m *serveMetrics) updateHealth(prev, h pimtrie.Health) {
 // construction and after every executed epoch.
 func (s *Server) sampleHealth() {
 	h := s.ix.Health()
+	n := s.ix.Len()
+	m := s.ix.Metrics()
 	s.healthMu.Lock()
 	prev := s.health
 	s.health = h
+	s.keyCount = n
+	s.model = m
 	s.healthMu.Unlock()
 	if s.met != nil {
 		s.met.updateHealth(prev, h)
@@ -167,4 +178,23 @@ func (s *Server) Health() pimtrie.Health {
 	s.healthMu.Lock()
 	defer s.healthMu.Unlock()
 	return s.health
+}
+
+// KeyCount returns the index's stored-key count as sampled after the
+// most recently committed epoch; safe from any goroutine while the
+// server is running (unlike Index.Len).
+func (s *Server) KeyCount() int {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.keyCount
+}
+
+// ModelMetrics returns the index's cumulative PIM Model cost counters
+// as sampled after the most recently committed epoch; safe from any
+// goroutine while the server is running (unlike Index.Metrics). Diff
+// two snapshots with Metrics.Sub to cost a serving window.
+func (s *Server) ModelMetrics() pimtrie.Metrics {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.model
 }

@@ -1,0 +1,70 @@
+package serve_test
+
+import (
+	"testing"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/serve"
+)
+
+// TestPrefixLoadCounters drives known-prefix traffic through a server
+// with per-prefix load accounting and checks the exported counters
+// land in the right buckets, counting unique executed keys (not
+// admitted duplicates).
+func TestPrefixLoadCounters(t *testing.T) {
+	const bits = 3
+	ix := pimtrie.New(4, pimtrie.Options{Seed: 3})
+	srv := serve.NewServer(ix, serve.Options{PrefixLoadBits: bits})
+	defer srv.Close()
+
+	// Bucket of a key is its first 3 bits: "000..." -> 0, "111..." -> 7.
+	k0 := pimtrie.KeyFromBits("000101010")
+	k0b := pimtrie.KeyFromBits("000111111")
+	k7 := pimtrie.KeyFromBits("111000")
+	short := pimtrie.KeyFromBits("01") // pads to 010 -> bucket 2
+
+	if err := srv.InsertAsync([]serve.Key{k0, k0b, k7, short},
+		[]uint64{1, 2, 3, 4}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads: the same unique key requested twice in one call still
+	// executes once, so it must count once.
+	if _, _, err := srv.GetAsync(k0, k0, k7).Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	load, epochs := srv.PrefixLoad(nil)
+	if epochs == 0 {
+		t.Fatalf("PrefixLoad reported 0 epochs after committed traffic")
+	}
+	if len(load) != 1<<bits {
+		t.Fatalf("PrefixLoad returned %d buckets, want %d", len(load), 1<<bits)
+	}
+	want := map[int]uint64{0: 3, 2: 1, 7: 2} // inserts + deduped reads
+	for b, n := range load {
+		if n != want[b] {
+			t.Errorf("bucket %d = %d, want %d", b, n, want[b])
+		}
+	}
+
+	// Snapshots into a reused buffer diff cleanly.
+	buf := make([]uint64, 1<<bits)
+	before, _ := srv.PrefixLoad(buf)
+	if _, err := srv.LCPAsync(k7).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := srv.PrefixLoad(make([]uint64, 1<<bits))
+	if d := after[7] - before[7]; d != 1 {
+		t.Fatalf("bucket 7 delta = %d, want 1", d)
+	}
+}
+
+// TestPrefixLoadDisabled: without PrefixLoadBits the export is nil.
+func TestPrefixLoadDisabled(t *testing.T) {
+	ix := pimtrie.New(4, pimtrie.Options{Seed: 3})
+	srv := serve.NewServer(ix, serve.Options{})
+	defer srv.Close()
+	if load, _ := srv.PrefixLoad(nil); load != nil {
+		t.Fatalf("PrefixLoad = %v without PrefixLoadBits, want nil", load)
+	}
+}

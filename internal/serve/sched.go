@@ -74,7 +74,8 @@ type Server struct {
 	cache        *hotCache
 	hist         []*EpochRecord
 	stats        Stats
-	idBuf        []byte // scratch for appendKeyID, reused under mu
+	idBuf        []byte   // scratch for appendKeyID, reused under mu
+	prefixLoad   []uint64 // per-prefix executed keys (Options.PrefixLoadBits)
 
 	kick     chan struct{} // batcher wake-up, capacity 1
 	closedCh chan struct{}
@@ -86,9 +87,13 @@ type Server struct {
 	ctl *adaptiveController // nil unless Options.AdaptiveLinger is set
 
 	// health is the post-epoch Index.Health sample behind Server.Health;
-	// written only by the goroutine that owns the index.
+	// written only by the goroutine that owns the index. keyCount and
+	// model are sampled on the same schedule for Server.KeyCount and
+	// Server.ModelMetrics.
 	healthMu sync.Mutex
 	health   pimtrie.Health
+	keyCount int
+	model    pimtrie.Metrics
 }
 
 // NewServer starts the serving layer over ix. The Server owns all
@@ -104,11 +109,14 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 	if s.opts.CacheSize > 0 {
 		s.cache = newHotCache(s.opts.CacheSize)
 	}
+	if s.opts.PrefixLoadBits > 0 {
+		s.prefixLoad = make([]uint64, 1<<uint(s.opts.PrefixLoadBits))
+	}
 	if s.opts.Metrics != nil {
-		s.met = newServeMetrics(s.opts.Metrics)
+		s.met = newServeMetrics(s.opts.Metrics, s.opts.MetricLabels)
 	}
 	if s.opts.AdaptiveLinger {
-		s.ctl = newAdaptiveController(s.opts, s.opts.Metrics)
+		s.ctl = newAdaptiveController(s.opts, s.opts.Metrics, s.opts.MetricLabels)
 	}
 	s.sampleHealth() // baseline before the scheduler goroutines exist
 	if !s.opts.NoPipeline {
@@ -461,6 +469,7 @@ func (s *Server) formWriteLocked() *epochPlan {
 	s.formedWrites++
 	plan.stamp = s.formedWrites
 	s.stats.WriteEpochs++
+	s.notePrefixLoadLocked(plan.keys)
 	s.noteExecutedLocked(op, len(plan.keys))
 	if s.met != nil {
 		s.met.writeEpochs.Inc()
@@ -528,6 +537,7 @@ func (s *Server) formReadLocked() *epochPlan {
 			}
 		}
 		s.readQ[op] = append(q[:0], q[i:]...)
+		s.notePrefixLoadLocked(rb.uniq)
 		s.noteExecutedLocked(Op(op), len(rb.uniq))
 		admitted := 0
 		for _, c := range rb.calls {
@@ -552,6 +562,40 @@ func (s *Server) formReadLocked() *epochPlan {
 		s.hist = append(s.hist, rec)
 	}
 	return plan
+}
+
+// notePrefixLoadLocked counts an epoch's unique executed keys into the
+// per-prefix load buckets. Caller holds s.mu.
+func (s *Server) notePrefixLoadLocked(keys []Key) {
+	if s.prefixLoad == nil {
+		return
+	}
+	for _, k := range keys {
+		s.prefixLoad[k.PrefixIndex(s.opts.PrefixLoadBits)]++
+	}
+}
+
+// PrefixLoad copies the cumulative per-prefix executed-key counters
+// into dst (allocating when dst is too short) and returns it, along
+// with the number of epochs committed so far — the consumer diffs two
+// snapshots to get a per-interval, per-key-range load profile. Bucket i
+// counts unique keys whose first PrefixLoadBits bits index i
+// (bitstr.PrefixIndex order: buckets are contiguous lexicographic key
+// ranges). It returns (nil, epochs) when Options.PrefixLoadBits is 0.
+// Safe to call from any goroutine while the server runs.
+func (s *Server) PrefixLoad(dst []uint64) ([]uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epochs := s.stats.ReadEpochs + s.stats.WriteEpochs
+	if s.prefixLoad == nil {
+		return nil, epochs
+	}
+	if cap(dst) < len(s.prefixLoad) {
+		dst = make([]uint64, len(s.prefixLoad))
+	}
+	dst = dst[:len(s.prefixLoad)]
+	copy(dst, s.prefixLoad)
+	return dst, epochs
 }
 
 func (s *Server) noteExecutedLocked(op Op, uniq int) {

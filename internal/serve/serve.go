@@ -119,6 +119,21 @@ type Options struct {
 	// (the default) disables instrumentation entirely — the hot path
 	// then pays one nil check per site.
 	Metrics *metrics.Registry
+	// MetricLabels are appended to every instrument this server
+	// registers, so several servers (the per-shard servers of a
+	// shard.Router) can share one registry without their series
+	// colliding — each shard contributes its own shard="i" series and
+	// the exposition stays lint-clean. Ignored without Metrics.
+	MetricLabels []metrics.Label
+	// PrefixLoadBits enables per-key-prefix load accounting: every
+	// unique key an epoch sends to the index is counted in the bucket
+	// of its first PrefixLoadBits bits (bitstr.PrefixIndex — shorter
+	// keys pad with zeros, so buckets are contiguous key ranges). The
+	// counters, read with Server.PrefixLoad, are the skew signal the
+	// sharding router's hot-range migration policy consumes. 0 (the
+	// default) disables the accounting; values are clamped to [1, 16]
+	// otherwise (at most 65536 buckets).
+	PrefixLoadBits int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +142,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdaptiveLinger && o.MaxLinger <= 0 {
 		o.MaxLinger = defaultAdaptiveMaxLinger
+	}
+	if o.PrefixLoadBits > 16 {
+		o.PrefixLoadBits = 16
+	}
+	if o.PrefixLoadBits < 0 {
+		o.PrefixLoadBits = 0
 	}
 	return o
 }

@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"time"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/metrics"
+	"github.com/pimlab/pimtrie/internal/serve"
+)
+
+// migrationLoop is the background load watcher: one Rebalance per
+// Interval until Close.
+func (r *Router) migrationLoop() {
+	defer close(r.loopDone)
+	t := time.NewTicker(r.cfg.Migration.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.Rebalance()
+		}
+	}
+}
+
+// Rebalance runs one migration-policy cycle by hand: sample per-shard
+// per-slot executed-key counters, diff them against the previous
+// sample, and when the per-shard imbalance (max/mean) crosses the
+// threshold migrate the hottest slots from the hottest shards to the
+// coolest until the sample would be balanced or MaxMoves is spent. The
+// first call only primes the sample window. Returns the number of
+// slots moved. The background loop calls this on its interval; tests
+// and benchmarks call it directly for deterministic timing.
+func (r *Router) Rebalance() (moves int, err error) {
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+
+	// Sample cumulative per-slot loads, recycling the oldest buffers.
+	bufs := r.loadBuf
+	r.loadBuf = nil
+	cur := make([][]uint64, len(r.shards))
+	for i, sh := range r.shards {
+		var dst []uint64
+		if bufs != nil {
+			dst = bufs[i]
+		}
+		cur[i], _ = sh.srv.PrefixLoad(dst)
+	}
+	prev := r.prevLoad
+	r.prevLoad = cur
+	if prev == nil {
+		return 0, nil
+	}
+	r.loadBuf = prev
+	if r.skipNext {
+		// This window contains the previous cycle's own migration
+		// traffic (see the skipNext field); use it only to advance the
+		// sample base.
+		r.skipNext = false
+		return 0, nil
+	}
+
+	// Window deltas: slot-granular for picking what to move,
+	// shard-granular for deciding whether to move at all.
+	slotLoad := make([]int64, r.slots)
+	shardLoad := make([]int64, len(r.shards))
+	var total int64
+	for i := range cur {
+		for s := 0; s < r.slots; s++ {
+			d := int64(cur[i][s] - prev[i][s])
+			slotLoad[s] += d
+			shardLoad[i] += d
+			total += d
+		}
+	}
+	maxMean, _ := metrics.Imbalance(shardLoad)
+	r.lastImbal = maxMean
+	if r.met != nil {
+		r.met.imbalance.Set(maxMean)
+		for i, l := range shardLoad {
+			share := 0.0
+			if total > 0 {
+				share = float64(l) / float64(total)
+			}
+			r.met.loadShare[i].Set(share)
+		}
+	}
+	cfg := r.cfg.Migration
+	if total < int64(cfg.MinKeys) || maxMean < cfg.Threshold {
+		return 0, nil
+	}
+
+	// Plan greedily and execute under the exclusive barrier: repeatedly
+	// move the hottest slot of the hottest shard to the coolest shard,
+	// as long as the move narrows the hot/cool gap. Taking the lock
+	// parks new submissions; draining inflight lets already-submitted
+	// operations resolve (on the shard servers' schedule) before any
+	// slot moves.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, nil
+	}
+	r.inflight.Wait()
+	for moves < cfg.MaxMoves {
+		hot, cool := argMax(shardLoad), argMin(shardLoad)
+		if hot == cool || shardLoad[hot] <= shardLoad[cool] {
+			break
+		}
+		best, bestLoad := -1, int64(0)
+		for s, sid := range r.table {
+			if sid != hot {
+				continue
+			}
+			d := slotLoad[s]
+			if d <= bestLoad || shardLoad[cool]+d >= shardLoad[hot] {
+				continue // zero-load slot, or the move would just relocate the hotspot
+			}
+			best, bestLoad = s, d
+		}
+		if best < 0 {
+			break
+		}
+		if _, err = r.migrateSlotLocked(best, cool); err != nil {
+			return moves, err
+		}
+		shardLoad[hot] -= bestLoad
+		shardLoad[cool] += bestLoad
+		moves++
+	}
+	if moves > 0 {
+		r.skipNext = true
+	}
+	return moves, nil
+}
+
+func argMax(v []int64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argMin(v []int64) int {
+	best := 0
+	for i, x := range v {
+		if x < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MigrateSlot moves one route slot to the given shard under the
+// migration barrier and returns the number of pairs replayed. It is
+// the manual form of what Rebalance does per move; tests use it to
+// force migrations deterministically. Migrating a slot to its current
+// owner is a no-op.
+func (r *Router) MigrateSlot(slot, to int) (moved int, err error) {
+	if slot < 0 || slot >= r.slots {
+		panic("shard: MigrateSlot slot out of range")
+	}
+	if to < 0 || to >= len(r.shards) {
+		panic("shard: MigrateSlot shard out of range")
+	}
+	// A manual move pollutes the policy's next load window exactly like
+	// one of its own (see skipNext); flag it before taking the barrier
+	// to keep the migMu -> mu lock order of Rebalance.
+	r.migMu.Lock()
+	r.skipNext = true
+	r.migMu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, serve.ErrClosed
+	}
+	r.inflight.Wait()
+	return r.migrateSlotLocked(slot, to)
+}
+
+// migrateSlotLocked executes the migration protocol for one slot while
+// holding the exclusive barrier (no operation in flight anywhere):
+//
+//  1. export — Subtree-scan the slot's prefix range on the old owner;
+//  2. replicas — fetch stored short prefixes of the range the target
+//     does not already replicate;
+//  3. replay — one Insert batch on the new owner;
+//  4. flip — rewrite the routing table entry;
+//  5. cleanup — delete the moved range from the old owner, plus its
+//     replicas of short prefixes it no longer covers.
+//
+// Readers either run entirely before the flip (old owner still holds
+// everything) or entirely after (new owner holds everything, the old
+// owner's stale copy is unreachable through the table and deleted
+// before the barrier drops), so no request observes a half-moved
+// range.
+func (r *Router) migrateSlotLocked(slot, to int) (int, error) {
+	from := r.table[slot]
+	if from == to {
+		return 0, nil
+	}
+	start := time.Now()
+	src, dst := r.shards[from], r.shards[to]
+	prefix := slotKey(slot, r.routeBits)
+
+	kvs, err := src.srv.Subtree(prefix)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]Key, 0, len(kvs)+r.routeBits)
+	vals := make([]uint64, 0, len(kvs)+r.routeBits)
+	for _, kv := range kvs {
+		keys = append(keys, kv.Key)
+		vals = append(vals, kv.Value)
+	}
+	var shorts []Key
+	for l := 0; l < r.routeBits; l++ {
+		if p := prefix.Prefix(l); !r.ownsExtensionLocked(to, p) {
+			shorts = append(shorts, p)
+		}
+	}
+	if len(shorts) > 0 {
+		vs, found, err := src.srv.GetAsync(shorts...).Wait()
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range shorts {
+			if found[i] {
+				keys = append(keys, p)
+				vals = append(vals, vs[i])
+			}
+		}
+	}
+	if len(keys) > 0 {
+		if err := dst.srv.InsertAsync(keys, vals).Wait(); err != nil {
+			return 0, err
+		}
+	}
+
+	r.table[slot] = to
+
+	del := make([]Key, 0, len(kvs)+r.routeBits)
+	for _, kv := range kvs {
+		del = append(del, kv.Key)
+	}
+	for l := 0; l < r.routeBits; l++ {
+		if p := prefix.Prefix(l); !r.ownsExtensionLocked(from, p) {
+			del = append(del, p)
+		}
+	}
+	if len(del) > 0 {
+		if _, err := src.srv.DeleteAsync(del...).Wait(); err != nil {
+			return 0, err
+		}
+	}
+
+	r.migration.Add(1)
+	r.movedKeys.Add(uint64(len(kvs)))
+	if r.met != nil {
+		r.met.migrations.Inc()
+		r.met.migratedKeys.Add(uint64(len(kvs)))
+		r.met.migrationDur.ObserveDuration(int64(time.Since(start)))
+		r.met.updateSlots(r.table, len(r.shards))
+	}
+	return len(kvs), nil
+}
+
+// ownsExtensionLocked reports whether shard sid owns any slot whose
+// range extends prefix p under the live table — i.e. whether sid is a
+// covering shard that replicates p when p is stored.
+func (r *Router) ownsExtensionLocked(sid int, p bitstr.String) bool {
+	lo, hi := slotRange(p, r.routeBits)
+	for s := lo; s < hi; s++ {
+		if r.table[s] == sid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package shard_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/shard"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// TestRebalanceMovesHotLoad drives a hotspot at one shard and checks a
+// manual Rebalance cycle detects the imbalance, moves hot slots to
+// cooler shards, and preserves the stored contents exactly.
+func TestRebalanceMovesHotLoad(t *testing.T) {
+	const shards, bits = 4, 6
+	r := shard.New(shard.Config{
+		Shards:      shards,
+		RouteBits:   bits,
+		Partitioner: shard.Contiguous{},
+		Modules:     8,
+		Index:       pimtrie.Options{Seed: 21},
+		Migration:   shard.Migration{Threshold: 1.2, MaxMoves: 8, MinKeys: 64},
+	})
+	defer r.Close()
+
+	gen := workload.New(17)
+	keys := dedupeKeys(gen.FixedLen(1500, 32))
+	if err := r.Insert(keys, gen.Values(len(keys))); err != nil {
+		t.Fatal(err)
+	}
+	before, err := r.Subtree(bitstr.Empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prime the sample window, then slam shard 0's keys.
+	if moves, err := r.Rebalance(); err != nil || moves != 0 {
+		t.Fatalf("priming Rebalance = (%d, %v), want (0, nil)", moves, err)
+	}
+	table := r.Table()
+	var hot []shard.Key
+	for _, k := range keys {
+		if table[k.PrefixIndex(bits)] == 0 {
+			hot = append(hot, k)
+		}
+	}
+	if len(hot) < 50 {
+		t.Fatalf("only %d keys on shard 0", len(hot))
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := r.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	moves, err := r.Rebalance()
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if moves == 0 {
+		t.Fatalf("Rebalance moved nothing under a pure shard-0 hotspot (imbalance %.2f)",
+			r.Stats().LastImbalance)
+	}
+	st := r.Stats()
+	if st.LastImbalance < 1.2 {
+		t.Errorf("LastImbalance = %.2f, want >= threshold 1.2", st.LastImbalance)
+	}
+	if st.Migrations == 0 || st.MovedKeys == 0 {
+		t.Errorf("stats after rebalance: %+v, want migrations and moved keys", st)
+	}
+	afterTable := r.Table()
+	lost := 0
+	for s, sid := range table {
+		if sid == 0 && afterTable[s] != 0 {
+			lost++
+		}
+	}
+	if lost != moves {
+		t.Errorf("shard 0 lost %d slots, Rebalance reported %d moves", lost, moves)
+	}
+
+	// Contents are untouched by migration.
+	after, err := r.Subtree(bitstr.Empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameKVs(t, "post-rebalance dump", after, before)
+
+	// A balanced reload does not trigger further moves.
+	if _, _, err := r.Get(keys); err != nil {
+		t.Fatal(err)
+	}
+	if moves, err := r.Rebalance(); err != nil || moves != 0 {
+		t.Fatalf("balanced Rebalance = (%d, %v), want (0, nil)", moves, err)
+	}
+}
+
+// TestRebalanceIgnoresIdleAndLight: below MinKeys nothing moves no
+// matter how imbalanced the tiny sample is.
+func TestRebalanceIgnoresIdleAndLight(t *testing.T) {
+	r := shard.New(shard.Config{
+		Shards: 2, RouteBits: 4, Partitioner: shard.Contiguous{}, Modules: 4,
+		Index:     pimtrie.Options{Seed: 2},
+		Migration: shard.Migration{MinKeys: 1 << 20},
+	})
+	defer r.Close()
+	gen := workload.New(5)
+	keys := dedupeKeys(gen.FixedLen(200, 24))
+	if err := r.Insert(keys, gen.Values(len(keys))); err != nil {
+		t.Fatal(err)
+	}
+	r.Rebalance()
+	if _, _, err := r.Get(keys[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if moves, _ := r.Rebalance(); moves != 0 {
+		t.Fatalf("light traffic moved %d slots", moves)
+	}
+}
+
+// TestMigrationUnderConcurrentWrites is the race test: writer
+// goroutines churn disjoint key ranges through the router while the
+// main goroutine forces migrations; the epoch barrier must keep every
+// answer exact and the final state must equal the deterministic
+// per-writer outcome. Run with -race in CI.
+func TestMigrationUnderConcurrentWrites(t *testing.T) {
+	const (
+		writers  = 4
+		perW     = 120
+		shards   = 4
+		bits     = 5
+		migrates = 25
+	)
+	r := shard.New(shard.Config{
+		Shards:      shards,
+		RouteBits:   bits,
+		Partitioner: shard.HashedPrefix{Seed: 6},
+		Modules:     8,
+		Index:       pimtrie.Options{Seed: 13},
+	})
+	defer r.Close()
+
+	// Disjoint ranges: writer w's keys start with w's 8-bit tag, so no
+	// cross-writer conflicts and the final state is deterministic.
+	keysByW := make([][]shard.Key, writers)
+	valsByW := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		gen := workload.New(int64(100 + w))
+		tag := bitstr.FromUint64(uint64(w), 8)
+		raw := dedupeKeys(gen.VarLen(perW, 1, 32))
+		for _, k := range raw {
+			keysByW[w] = append(keysByW[w], tag.Concat(k))
+		}
+		valsByW[w] = gen.Values(len(keysByW[w]))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys, vals := keysByW[w], valsByW[w]
+			// Insert everything in chunks, read it back, then delete the
+			// odd half — all while migrations fire.
+			for i := 0; i < len(keys); i += 30 {
+				j := i + 30
+				if j > len(keys) {
+					j = len(keys)
+				}
+				if err := r.Insert(keys[i:j], vals[i:j]); err != nil {
+					t.Errorf("writer %d insert: %v", w, err)
+					return
+				}
+				gotV, gotF, err := r.Get(keys[i:j])
+				if err != nil {
+					t.Errorf("writer %d get: %v", w, err)
+					return
+				}
+				for x := range gotF {
+					if !gotF[x] || gotV[x] != vals[i+x] {
+						t.Errorf("writer %d: key %q = (%d,%v), want (%d,true)",
+							w, keys[i+x], gotV[x], gotF[x], vals[i+x])
+						return
+					}
+				}
+			}
+			var odd []shard.Key
+			for i := 1; i < len(keys); i += 2 {
+				odd = append(odd, keys[i])
+			}
+			found, err := r.Delete(odd)
+			if err != nil {
+				t.Errorf("writer %d delete: %v", w, err)
+				return
+			}
+			for i, f := range found {
+				if !f {
+					t.Errorf("writer %d: delete %q found=false", w, odd[i])
+					return
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < migrates; i++ {
+		if _, err := r.MigrateSlot(rng.Intn(r.Slots()), rng.Intn(shards)); err != nil {
+			t.Errorf("migrate %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// Deterministic final state: even-indexed keys of every writer.
+	want := map[string]uint64{}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < len(keysByW[w]); i += 2 {
+			want[keysByW[w][i].String()] = valsByW[w][i]
+		}
+	}
+	dump, err := r.Subtree(bitstr.Empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) != len(want) {
+		t.Fatalf("final dump has %d keys, want %d", len(dump), len(want))
+	}
+	for _, kv := range dump {
+		v, ok := want[kv.Key.String()]
+		if !ok || v != kv.Value {
+			t.Fatalf("final state: %q = %d, want (%d, present=%v)", kv.Key, kv.Value, v, ok)
+		}
+	}
+	if st := r.Stats(); st.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+// TestMigrationLoopEndToEnd runs the background loop against a
+// shifting hotspot and waits for it to move load off the hot shard.
+func TestMigrationLoopEndToEnd(t *testing.T) {
+	const shards, bits = 4, 6
+	r := shard.New(shard.Config{
+		Shards:      shards,
+		RouteBits:   bits,
+		Partitioner: shard.Contiguous{},
+		Modules:     8,
+		Index:       pimtrie.Options{Seed: 31},
+		Migration:   shard.Migration{Enabled: true, Interval: 5e6, Threshold: 1.2, MaxMoves: 8, MinKeys: 64},
+	})
+	defer r.Close()
+
+	gen := workload.New(23)
+	keys := dedupeKeys(gen.FixedLen(1200, 32))
+	if err := r.Insert(keys, gen.Values(len(keys))); err != nil {
+		t.Fatal(err)
+	}
+	hs := workload.NewHotRangeStream(keys, 3, 0.95, 8, 0)
+	batch := make([]shard.Key, 64)
+	for i := 0; i < 400; i++ {
+		for j := range batch {
+			batch[j] = hs.Next()
+		}
+		if _, _, err := r.Get(batch); err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats().Migrations > 0 {
+			return // the loop saw the hotspot and acted
+		}
+	}
+	t.Fatalf("background migration loop never moved a slot (imbalance %.2f)",
+		r.Stats().LastImbalance)
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"github.com/pimlab/pimtrie/internal/bitstr"
 )
@@ -224,4 +225,105 @@ func (ks *KeyStream) Next() bitstr.String {
 		return ks.keys[ks.r.Intn(len(ks.keys))]
 	}
 	return ks.keys[ks.perm[ks.z.Uint64()]]
+}
+
+// HotRangeStream draws stored keys with a shifting hot range: the key
+// population is sorted lexicographically and split into `ranges`
+// contiguous groups (each group is one prefix range of the key space),
+// one of which is hot — each draw picks uniformly inside the hot group
+// with probability hotFrac and uniformly over the whole population
+// otherwise. With period > 0 the hot group rotates to the next one
+// every period draws, the shifting-hotspot regime that exercises a
+// sharding router's hot-range migration end-to-end; with period = 0
+// the hotspot only moves when Shift or SetHot is called.
+//
+// Next must be called from one goroutine, but SetHot/Shift/Hot are
+// safe to call concurrently (a benchmark driver shifts many clients'
+// streams at once). Streams with equal inputs replay identically.
+type HotRangeStream struct {
+	sorted  []bitstr.String
+	r       *rand.Rand
+	ranges  int
+	hotFrac float64
+	period  int
+	count   int
+	hot     atomic.Int32
+}
+
+// NewHotRangeStream builds a stream over keys with the given number of
+// contiguous ranges. It panics if keys is empty, ranges is not in
+// [1, len(keys)], or hotFrac is outside [0, 1].
+func NewHotRangeStream(keys []bitstr.String, seed int64, hotFrac float64, ranges, period int) *HotRangeStream {
+	if len(keys) == 0 {
+		panic("workload: NewHotRangeStream with no keys")
+	}
+	if ranges < 1 || ranges > len(keys) {
+		panic("workload: NewHotRangeStream ranges out of [1, len(keys)]")
+	}
+	if hotFrac < 0 || hotFrac > 1 {
+		panic("workload: NewHotRangeStream hotFrac outside [0, 1]")
+	}
+	sorted := append([]bitstr.String(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return bitstr.Compare(sorted[a], sorted[b]) < 0 })
+	return &HotRangeStream{
+		sorted:  sorted,
+		r:       rand.New(rand.NewSource(seed)),
+		ranges:  ranges,
+		hotFrac: hotFrac,
+		period:  period,
+	}
+}
+
+// rangeBounds returns the half-open index interval of group g.
+func (hs *HotRangeStream) rangeBounds(g int) (lo, hi int) {
+	n := len(hs.sorted)
+	return g * n / hs.ranges, (g + 1) * n / hs.ranges
+}
+
+// Next returns the stream's next key, rotating the hotspot first when
+// the period expires.
+func (hs *HotRangeStream) Next() bitstr.String {
+	if hs.period > 0 {
+		hs.count++
+		if hs.count%hs.period == 0 {
+			hs.Shift()
+		}
+	}
+	if hs.hotFrac > 0 && hs.r.Float64() < hs.hotFrac {
+		lo, hi := hs.rangeBounds(int(hs.hot.Load()))
+		if hi > lo {
+			return hs.sorted[lo+hs.r.Intn(hi-lo)]
+		}
+	}
+	return hs.sorted[hs.r.Intn(len(hs.sorted))]
+}
+
+// Hot returns the index of the current hot range.
+func (hs *HotRangeStream) Hot() int { return int(hs.hot.Load()) }
+
+// SetHot moves the hotspot to range g (mod ranges).
+func (hs *HotRangeStream) SetHot(g int) {
+	g %= hs.ranges
+	if g < 0 {
+		g += hs.ranges
+	}
+	hs.hot.Store(int32(g))
+}
+
+// Shift rotates the hotspot to the next contiguous range.
+func (hs *HotRangeStream) Shift() {
+	for {
+		cur := hs.hot.Load()
+		next := (cur + 1) % int32(hs.ranges)
+		if hs.hot.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// HotKeys returns the keys of the current hot range, sorted — the
+// tests use it to check where migrated load should have landed.
+func (hs *HotRangeStream) HotKeys() []bitstr.String {
+	lo, hi := hs.rangeBounds(int(hs.hot.Load()))
+	return hs.sorted[lo:hi:hi]
 }

@@ -214,3 +214,76 @@ func TestKeyStream(t *testing.T) {
 		t.Fatalf("Zipf stream not skewed: hottest %d vs uniform hottest %d", zhot, uhot)
 	}
 }
+
+func TestHotRangeStreamDeterministicAndRotating(t *testing.T) {
+	g := New(4)
+	keys := g.FixedLen(1000, 64)
+
+	// Identical inputs replay identically.
+	a := NewHotRangeStream(keys, 9, 0.9, 8, 100)
+	b := NewHotRangeStream(keys, 9, 0.9, 8, 100)
+	for i := 0; i < 500; i++ {
+		if !bitstr.Equal(a.Next(), b.Next()) {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	if a.Hot() != b.Hot() {
+		t.Fatalf("hot ranges diverged: %d vs %d", a.Hot(), b.Hot())
+	}
+
+	// The hotspot rotates once per period, wrapping around.
+	c := NewHotRangeStream(keys, 9, 0.5, 4, 10)
+	if c.Hot() != 0 {
+		t.Fatalf("initial hot range = %d, want 0", c.Hot())
+	}
+	for i := 0; i < 10; i++ {
+		c.Next()
+	}
+	if c.Hot() != 1 {
+		t.Fatalf("hot range after one period = %d, want 1", c.Hot())
+	}
+	for i := 0; i < 30; i++ {
+		c.Next()
+	}
+	if c.Hot() != 0 {
+		t.Fatalf("hot range after four periods = %d, want 0 (wrapped)", c.Hot())
+	}
+}
+
+func TestHotRangeStreamSkew(t *testing.T) {
+	g := New(5)
+	keys := g.FixedLen(800, 64)
+	hs := NewHotRangeStream(keys, 3, 0.9, 8, 0) // manual shifting only
+	hs.SetHot(5)
+	hot := map[string]bool{}
+	for _, k := range hs.HotKeys() {
+		hot[k.String()] = true
+	}
+	if len(hot) != 100 {
+		t.Fatalf("hot range holds %d keys, want 100", len(hot))
+	}
+	const draws = 5000
+	inHot := 0
+	for i := 0; i < draws; i++ {
+		if hot[hs.Next().String()] {
+			inHot++
+		}
+	}
+	// Expect hotFrac + (1-hotFrac)/ranges ≈ 0.9125 of draws in the hot
+	// range; accept a generous tolerance.
+	frac := float64(inHot) / draws
+	if frac < 0.85 || frac > 0.97 {
+		t.Fatalf("hot-range fraction = %.3f, want ≈0.91", frac)
+	}
+	// SetHot moves the mass: after shifting, the old range goes cold.
+	hs.SetHot(2)
+	inOld := 0
+	for i := 0; i < draws; i++ {
+		if hot[hs.Next().String()] {
+			inOld++
+		}
+	}
+	if frac := float64(inOld) / draws; frac > 0.05 {
+		t.Fatalf("old hot range still draws %.3f of traffic after SetHot", frac)
+	}
+}

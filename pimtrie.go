@@ -116,7 +116,10 @@ type Recorder = pim.Recorder
 // by exactly one executing batch at a time. Concurrent batch calls are
 // detected and panic immediately rather than corrupting state; to serve
 // concurrent single-key traffic, front the Index with serve.Server,
-// which coalesces requests into batches and serializes execution. The
+// which coalesces requests into batches and serializes execution (and
+// to scale past one simulated PIM system, shard.Router spreads the
+// keyspace over several Index+Server pairs with hot-range migration
+// between them). The
 // one exception is PrepareBatch, which is explicitly safe to run
 // concurrently with an executing batch (it is the pipeline stage the
 // serving layer overlaps with PIM rounds).
