@@ -14,6 +14,8 @@
 //	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
 //	pimbench -bench - -cpuprofile cpu.pprof -memprofile mem.pprof
 //	pimbench -serve BENCH_PR5.json -conc 64 -zipf 1.0   # concurrent serving suite
+//	pimbench -durable BENCH_PR9.json                 # WAL fsync-policy overhead
+//	pimbench -restart-chaos 8                        # SIGKILL + bit-exact recovery
 package main
 
 import (
@@ -112,6 +114,11 @@ func main() {
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
 		srvP  = flag.String("serve", "", "run the concurrent-serving benchmark and write a JSON report to this path (\"-\" for stdout only)")
+		durbP = flag.String("durable", "", "run the write-durability benchmark (WAL fsync policies vs non-durable baseline) and write a JSON report to this path (\"-\" for stdout only)")
+		walD  = flag.String("wal-dir", "", "durability: directory for write-ahead-log state (default: a temp dir)")
+		walS  = flag.String("wal-sync", "interval", "durability: WAL fsync policy — epoch, interval or off")
+		chaoN = flag.Int("restart-chaos", 0, "run this many crash-restart chaos rounds (SIGKILL a serving child, verify bit-exact recovery) and exit")
+		chaoC = flag.Bool("restart-chaos-child", false, "internal: run as the -restart-chaos serving child")
 		swpP  = flag.String("serve-sweep", "", "sweep the linger/epoch policy space (static grid + adaptive controller) plus the host-probe scenario; write a JSON report to this path (\"-\" for stdout only)")
 		shdP  = flag.String("shards", "", "run the sharded scale-out benchmark (scaling curve + hot-range migration) and write a JSON report to this path (\"-\" for stdout only)")
 		shdC  = flag.String("shard-counts", "1,2,4,8", "-shards: comma-separated shard counts of the scaling curve")
@@ -126,6 +133,20 @@ func main() {
 		maddr = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /varz, /healthz, /debug/pprof) on this address while the run lasts")
 	)
 	flag.Parse()
+
+	if *chaoC {
+		// Chaos child: never returns on the happy path — the parent kills it.
+		err := runChaosChild(*walD, *p, *seed, *walS)
+		fmt.Fprintf(os.Stderr, "pimbench: chaos child: %v\n", err)
+		os.Exit(1)
+	}
+	if *chaoN > 0 {
+		if err := runChaosParent(*chaoN, *walD, *p, *seed, *walS); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: restart-chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var plane *obsPlane
 	if *maddr != "" {
@@ -183,6 +204,15 @@ func main() {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 		if err := runBenchSuite(sc, *bench); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *durbP != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		if err := runDurableSuite(sc, *conc, *depth, *dur, *walD, *durbP); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: durable: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,66 @@
+package pimtrie_test
+
+// The crash-restart chaos test: a child process serves durable writes
+// from a shared directory, the parent SIGKILLs it at random points and
+// asserts — via internal/restart's oracle protocol — that recovery is
+// bit-identical to the acknowledged history after every kill. External
+// test package: the harness imports internal/serve, which imports
+// pimtrie, so the in-package test would be an import cycle.
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/restart"
+	"github.com/pimlab/pimtrie/internal/wal"
+)
+
+const (
+	chaosSeed   = 0x5eed_c4a5
+	chaosDirEnv = "PIMTRIE_RESTART_DIR"
+)
+
+func newChaosIndex() *pimtrie.Index {
+	return pimtrie.New(8, pimtrie.Options{Seed: 11, Recoverable: true})
+}
+
+// TestRestartChaosChild is the re-exec target, not a test: the parent
+// spawns this binary with -test.run pinned here and the directory in
+// the environment, then kills it. Skips in a normal test run.
+func TestRestartChaosChild(t *testing.T) {
+	dir := os.Getenv(chaosDirEnv)
+	if dir == "" {
+		t.Skip("re-exec helper for TestRestartChaos")
+	}
+	// Never returns on the happy path — the parent's SIGKILL is the exit.
+	err := restart.RunChild(dir, chaosSeed, wal.SyncInterval, newChaosIndex)
+	t.Fatalf("chaos child exited on its own: %v", err)
+}
+
+func TestRestartChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	spawn := func(d string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestRestartChaosChild$")
+		cmd.Env = append(os.Environ(), chaosDirEnv+"="+d)
+		return cmd
+	}
+	final, err := restart.RunParent(restart.Config{
+		Dir:      dir,
+		Seed:     chaosSeed,
+		Rounds:   6,
+		NewIndex: newChaosIndex,
+		Logf:     t.Logf,
+	}, spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == 0 {
+		t.Fatal("no round ever acknowledged an op; the harness is not exercising the server")
+	}
+	t.Logf("chaos done: %d ops survived %d kills bit-identically", final, 6)
+}

@@ -289,11 +289,16 @@ func (t *PIMTrie) deleteBatch(keys []bitstr.String, pb *Prepared) []bool {
 	if t.recoverable {
 		end := t.sys.Phase("shadow")
 		shadowRes = make([]bool, len(keys))
+		// Whole-batch write lock: a concurrent Snapshot sees all of
+		// this batch's deletes or none of them (see snapshot.go).
+		t.shadowMu.Lock()
 		w := 0
 		for i, k := range keys {
 			shadowRes[i] = t.shadow.Delete(k)
 			w += k.Words() + 1
 		}
+		t.shadowVer++
+		t.shadowMu.Unlock()
 		t.sys.CPUWork(w)
 		end()
 	}

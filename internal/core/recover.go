@@ -77,11 +77,16 @@ func (t *PIMTrie) shadowInsert(keys []bitstr.String, values []uint64) {
 		return
 	}
 	defer t.sys.Phase("shadow")()
+	// The whole batch mutates under one write lock so a concurrent
+	// Snapshot lands on a batch boundary (see snapshot.go).
+	t.shadowMu.Lock()
 	w := 0
 	for i, k := range keys {
 		t.shadow.Insert(k, values[i])
 		w += k.Words() + 1
 	}
+	t.shadowVer++
+	t.shadowMu.Unlock()
 	t.sys.CPUWork(w)
 }
 

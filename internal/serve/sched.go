@@ -85,6 +85,7 @@ type Server struct {
 
 	met *serveMetrics       // nil unless Options.Metrics is set
 	ctl *adaptiveController // nil unless Options.AdaptiveLinger is set
+	dur *durableState       // nil unless Options.Durable is set
 
 	// health is the post-epoch Index.Health sample behind Server.Health;
 	// written only by the goroutine that owns the index. keyCount and
@@ -118,6 +119,9 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 	if s.opts.AdaptiveLinger {
 		s.ctl = newAdaptiveController(s.opts, s.opts.Metrics, s.opts.MetricLabels)
 	}
+	if s.opts.Durable != nil {
+		s.dur = newDurableState(ix, *s.opts.Durable, s.opts.Metrics, s.opts.MetricLabels)
+	}
 	s.sampleHealth() // baseline before the scheduler goroutines exist
 	if !s.opts.NoPipeline {
 		// Formation is demand-paced: the executor emits one demand token
@@ -140,8 +144,11 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 }
 
 // Close drains every queued request, waits for the final epoch to
-// commit, and stops the scheduler goroutines. Requests submitted after
-// Close fail with ErrClosed.
+// commit, and stops the scheduler goroutines. On a durable server it
+// then drains the background checkpointer and fsyncs the WAL, so
+// every acknowledged write is on stable storage when Close returns
+// regardless of sync policy. Requests submitted after Close fail with
+// ErrClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -151,6 +158,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.kickBatcher()
 	s.wg.Wait()
+	if s.dur != nil {
+		s.dur.shutdown()
+	}
 }
 
 // Stats returns a snapshot of the serving counters.
@@ -677,15 +687,35 @@ func (s *Server) execute(plan *epochPlan) {
 }
 
 func (s *Server) executeWrite(plan *epochPlan) {
+	var found []bool
 	switch plan.op {
 	case OpInsert:
 		s.ix.InsertPrepared(plan.prep, plan.values)
+	case OpDelete:
+		found = s.ix.DeletePrepared(plan.prep)
+	}
+	// Log-before-ack: the epoch reaches the WAL before any caller
+	// observes it as committed, so an acknowledged write survives the
+	// process. On append failure the futures fail — the in-memory
+	// index is ahead of the log at that point and a restart would
+	// roll the epoch back, so it must not be acknowledged.
+	if s.dur != nil {
+		if err := s.dur.commitEpoch(s.ix, plan); err != nil {
+			err = fmt.Errorf("serve: wal append: %w", err)
+			for _, c := range plan.calls {
+				s.observeLatency(c)
+				c.fut.fail(err)
+			}
+			return
+		}
+	}
+	switch plan.op {
+	case OpInsert:
 		for _, c := range plan.calls {
 			s.observeLatency(c)
 			close(c.fut.done)
 		}
 	case OpDelete:
-		found := s.ix.DeletePrepared(plan.prep)
 		off := 0
 		for _, c := range plan.calls {
 			c.fut.found = found[off : off+len(c.keys) : off+len(c.keys)]

@@ -125,6 +125,12 @@ type Options struct {
 	// colliding — each shard contributes its own shard="i" series and
 	// the exposition stays lint-clean. Ignored without Metrics.
 	MetricLabels []metrics.Label
+	// Durable enables the write-ahead durability layer: every
+	// committed write epoch is appended to Durable.Log before its
+	// futures resolve (acknowledged means durable), with periodic
+	// checkpoints bounding the restart replay tail. Requires a
+	// recoverable index. See durable.go and the wal package.
+	Durable *Durable
 	// PrefixLoadBits enables per-key-prefix load accounting: every
 	// unique key an epoch sends to the index is counted in the bucket
 	// of its first PrefixLoadBits bits (bitstr.PrefixIndex — shorter

@@ -1,0 +1,29 @@
+package wal
+
+import "github.com/pimlab/pimtrie/internal/metrics"
+
+// walMetrics is the pimtrie_wal_* instrument set. Counters are
+// incremented at the event sites; the gauges are refreshed from the
+// Log's internal tallies after every state change.
+type walMetrics struct {
+	appends   *metrics.Counter
+	bytes     *metrics.Counter
+	fsyncs    *metrics.Counter
+	rotations *metrics.Counter
+	pruned    *metrics.Counter
+	lastSeq   *metrics.Gauge
+	segments  *metrics.Gauge
+}
+
+func newWALMetrics(reg *metrics.Registry, base []metrics.Label) *walMetrics {
+	lbl := func() []metrics.Label { return append([]metrics.Label(nil), base...) }
+	return &walMetrics{
+		appends:   reg.Counter("pimtrie_wal_appends_total", "write-epoch records appended to the WAL", lbl()...),
+		bytes:     reg.Counter("pimtrie_wal_appended_bytes_total", "bytes written to WAL segments (frames + headers)", lbl()...),
+		fsyncs:    reg.Counter("pimtrie_wal_fsyncs_total", "fsync(2) calls issued on WAL segments", lbl()...),
+		rotations: reg.Counter("pimtrie_wal_rotations_total", "segment rotations (one per checkpoint)", lbl()...),
+		pruned:    reg.Counter("pimtrie_wal_segments_pruned_total", "segment files deleted after being covered by a checkpoint", lbl()...),
+		lastSeq:   reg.Gauge("pimtrie_wal_last_seq", "highest epoch sequence number assigned by the log", lbl()...),
+		segments:  reg.Gauge("pimtrie_wal_segments", "WAL segment files currently on disk", lbl()...),
+	}
+}

@@ -1,0 +1,139 @@
+// Package wal is the durability layer under the serve scheduler: an
+// append-only write-ahead log of committed write epochs plus periodic
+// full-state checkpoints, with a recovery routine that folds the two
+// back into the key/value state the index held at crash time.
+//
+// The unit of logging is the serve layer's *write epoch* — the epoch
+// scheduler already serializes writes into maximal same-op runs, so
+// one WAL record carries one epoch's op, keys, and (for inserts)
+// values, stamped with a monotonically increasing sequence number.
+// Records are CRC-framed; a torn final record (the normal result of
+// killing a process mid-append) is detected and dropped during
+// recovery, which matters because an epoch is only acknowledged to
+// clients *after* its record reaches the log.
+//
+// The package depends only on bitstr and metrics so that core, serve,
+// and command binaries can all layer on top of it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+// Epoch ops. A record holds exactly one committed write epoch, and an
+// epoch is a maximal same-op run, so one op byte covers all keys.
+const (
+	OpInsert uint8 = 0
+	OpDelete uint8 = 1
+)
+
+// Epoch is one decoded WAL record: a committed write epoch.
+type Epoch struct {
+	Seq    uint64
+	Op     uint8
+	Keys   []bitstr.String
+	Values []uint64 // parallel to Keys for OpInsert; nil for OpDelete
+}
+
+// Frame layout (little-endian):
+//
+//	u32 payload length | u32 crc32(payload) | payload
+//
+// Payload:
+//
+//	u64 seq | u8 op | u32 nkeys | nkeys × key | [nkeys × u64 value]
+//
+// Key: uvarint bit-length followed by ceil(bits/8) bytes, MSB-first
+// within each byte (bitstr.Bytes / bitstr.FromBytes).
+const frameHeaderSize = 8
+
+// maxPayload bounds a frame's declared payload size so that a
+// corrupted length field cannot drive a giant allocation; anything
+// larger is treated as a torn/corrupt record.
+const maxPayload = 1 << 30
+
+var errBadRecord = errors.New("wal: bad record")
+
+// appendKey encodes one key: uvarint bit-length + packed bytes.
+func appendKey(buf []byte, k bitstr.String) []byte {
+	buf = binary.AppendUvarint(buf, uint64(k.Len()))
+	return append(buf, k.Bytes()...)
+}
+
+// decodeKey decodes one key starting at off, returning the new offset.
+func decodeKey(p []byte, off int) (bitstr.String, int, error) {
+	bits, n := binary.Uvarint(p[off:])
+	if n <= 0 || bits > maxPayload {
+		return bitstr.String{}, 0, errBadRecord
+	}
+	off += n
+	nb := (int(bits) + 7) / 8
+	if off+nb > len(p) {
+		return bitstr.String{}, 0, errBadRecord
+	}
+	k := bitstr.FromBytes(p[off : off+nb]).Prefix(int(bits))
+	return k, off + nb, nil
+}
+
+// appendPayload encodes an epoch record payload into buf.
+func appendPayload(buf []byte, seq uint64, op uint8, keys []bitstr.String, values []uint64) ([]byte, error) {
+	if op == OpInsert && len(values) != len(keys) {
+		return nil, fmt.Errorf("wal: %d keys but %d values", len(keys), len(values))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = appendKey(buf, k)
+	}
+	if op == OpInsert {
+		for _, v := range values {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf, nil
+}
+
+// decodePayload decodes an epoch record payload.
+func decodePayload(p []byte) (Epoch, error) {
+	var e Epoch
+	if len(p) < 13 {
+		return e, errBadRecord
+	}
+	e.Seq = binary.LittleEndian.Uint64(p)
+	e.Op = p[8]
+	if e.Op != OpInsert && e.Op != OpDelete {
+		return e, errBadRecord
+	}
+	nkeys := int(binary.LittleEndian.Uint32(p[9:]))
+	if nkeys < 0 || nkeys > maxPayload {
+		return e, errBadRecord
+	}
+	off := 13
+	e.Keys = make([]bitstr.String, nkeys)
+	for i := range e.Keys {
+		var err error
+		e.Keys[i], off, err = decodeKey(p, off)
+		if err != nil {
+			return e, err
+		}
+	}
+	if e.Op == OpInsert {
+		if off+8*nkeys > len(p) {
+			return e, errBadRecord
+		}
+		e.Values = make([]uint64, nkeys)
+		for i := range e.Values {
+			e.Values[i] = binary.LittleEndian.Uint64(p[off:])
+			off += 8
+		}
+	}
+	if off != len(p) {
+		return e, errBadRecord
+	}
+	return e, nil
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+)
+
+// RecoveryInfo is everything Recover extracts from a durability
+// directory: the newest valid checkpoint's contents plus the ordered
+// WAL tail to replay on top of it.
+type RecoveryInfo struct {
+	CheckpointSeq uint64          // seq covered by the checkpoint; 0 if none
+	Keys          []bitstr.String // checkpoint key/value payload
+	Values        []uint64
+	Epochs        []Epoch // replay tail, seq ascending, all > CheckpointSeq
+	LastSeq       uint64  // highest sequence recovered; resume logging at LastSeq+1
+	TornTail      bool    // the final record was torn/truncated and dropped
+	Segments      int     // segment files scanned
+}
+
+// Recover reads dir and reconstructs the durable state: the newest
+// checkpoint that passes its CRC, then every WAL record after it in
+// sequence order. A torn or corrupt record is tolerated only where a
+// crash can produce one — at the tail of the final segment, or at the
+// tail of an earlier segment whose successor re-issues the expected
+// sequence number (the post-crash log reuses the torn, never-acked
+// seq). Corruption anywhere else is an error.
+//
+// An empty or missing dir yields a zero RecoveryInfo and no error: a
+// fresh start.
+func Recover(dir string) (*RecoveryInfo, error) {
+	info := &RecoveryInfo{}
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		return info, nil
+	}
+	ckpts, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Newest checkpoint that verifies wins; older ones are fallback
+	// against a corrupted file (rename makes that unlikely, but the
+	// log tail covers everything after the older checkpoint anyway
+	// as long as its segments have not been pruned).
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		seq, keys, values, cerr := readCheckpoint(checkpointPath(dir, ckpts[i]))
+		if cerr != nil {
+			continue
+		}
+		info.CheckpointSeq = seq
+		info.Keys = keys
+		info.Values = values
+		break
+	}
+	info.LastSeq = info.CheckpointSeq
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	expected := info.CheckpointSeq + 1
+	for i, first := range segs {
+		last := i == len(segs)-1
+		// Skip segments fully covered by the checkpoint: everything
+		// in [first, nextFirst-1] is <= CheckpointSeq.
+		if !last && segs[i+1] <= expected {
+			continue
+		}
+		info.Segments++
+		epochs, torn, serr := scanSegment(segmentPath(dir, first), first, info.CheckpointSeq, &expected)
+		if serr != nil {
+			return nil, serr
+		}
+		info.Epochs = append(info.Epochs, epochs...)
+		if torn {
+			// A torn tail mid-log is legal only if the next segment
+			// resumes at exactly the sequence the torn record would
+			// have carried — i.e. the log was reopened after the
+			// crash that tore it.
+			if !last && segs[i+1] != expected {
+				return nil, fmt.Errorf("wal: segment %016x has a torn tail but successor starts at %016x, want %016x",
+					first, segs[i+1], expected)
+			}
+			if last {
+				info.TornTail = true
+			}
+		}
+	}
+	if n := len(info.Epochs); n > 0 {
+		info.LastSeq = info.Epochs[n-1].Seq
+	}
+	return info, nil
+}
+
+// scanSegment decodes one segment file. Records with seq <= ckptSeq
+// are skipped (covered by the checkpoint); every other record must
+// carry *expected, which is advanced per record. Returns torn=true if
+// the segment ends in a partial or corrupt record instead of a clean
+// EOF.
+func scanSegment(path string, first, ckptSeq uint64, expected *uint64) (epochs []Epoch, torn bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(raw) < segHdrLen {
+		// A crash immediately after segment creation can leave a
+		// short header; treat as an empty, torn segment.
+		return nil, true, nil
+	}
+	if string(raw[:8]) != segMagic {
+		return nil, false, fmt.Errorf("wal: segment %s: bad magic", path)
+	}
+	if got := binary.LittleEndian.Uint64(raw[8:]); got != first {
+		return nil, false, fmt.Errorf("wal: segment %s: header seq %016x does not match name", path, got)
+	}
+	off := segHdrLen
+	for off < len(raw) {
+		if off+frameHeaderSize > len(raw) {
+			return epochs, true, nil // partial frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(raw[off:]))
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if plen <= 0 || plen > maxPayload || off+frameHeaderSize+plen > len(raw) {
+			return epochs, true, nil // torn or garbage length
+		}
+		payload := raw[off+frameHeaderSize : off+frameHeaderSize+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return epochs, true, nil // corrupt record
+		}
+		e, derr := decodePayload(payload)
+		if derr != nil {
+			return epochs, true, nil
+		}
+		off += frameHeaderSize + plen
+		if e.Seq <= ckptSeq {
+			continue // covered by the checkpoint
+		}
+		if e.Seq != *expected {
+			return nil, false, fmt.Errorf("wal: segment %s: record seq %d, expected %d", path, e.Seq, *expected)
+		}
+		epochs = append(epochs, e)
+		*expected = e.Seq + 1
+	}
+	return epochs, false, nil
+}

@@ -1,0 +1,379 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/metrics"
+)
+
+// testKey builds a deterministic variable-length key from an op id.
+func testKey(i int) bitstr.String {
+	bits := 9 + (i*7)%48
+	return bitstr.FromUint64(uint64(i)*0x9e3779b97f4a7c15+1, bits)
+}
+
+// appendEpochs logs n epochs (inserts, with every 5th a delete of the
+// previous insert's keys) and returns the expected replay tail.
+func appendEpochs(t *testing.T, l *Log, n, startID int) []Epoch {
+	t.Helper()
+	var want []Epoch
+	for e := 0; e < n; e++ {
+		op := OpInsert
+		if e%5 == 4 {
+			op = OpDelete
+		}
+		nk := 1 + e%3
+		keys := make([]bitstr.String, nk)
+		var values []uint64
+		for k := range keys {
+			keys[k] = testKey(startID + e*3 + k)
+		}
+		if op == OpInsert {
+			values = make([]uint64, nk)
+			for k := range values {
+				values[k] = uint64(startID+e*3+k) * 31
+			}
+		}
+		seq, err := l.Append(op, keys, values)
+		if err != nil {
+			t.Fatalf("append %d: %v", e, err)
+		}
+		want = append(want, Epoch{Seq: seq, Op: op, Keys: keys, Values: values})
+	}
+	return want
+}
+
+func checkEpochs(t *testing.T, got, want []Epoch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d epochs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Seq != w.Seq || g.Op != w.Op || len(g.Keys) != len(w.Keys) {
+			t.Fatalf("epoch %d: got seq=%d op=%d nkeys=%d, want seq=%d op=%d nkeys=%d",
+				i, g.Seq, g.Op, len(g.Keys), w.Seq, w.Op, len(w.Keys))
+		}
+		for k := range w.Keys {
+			if !bitstr.Equal(g.Keys[k], w.Keys[k]) {
+				t.Fatalf("epoch %d key %d: got %v want %v", i, k, g.Keys[k], w.Keys[k])
+			}
+			if w.Op == OpInsert && g.Values[k] != w.Values[k] {
+				t.Fatalf("epoch %d value %d: got %d want %d", i, k, g.Values[k], w.Values[k])
+			}
+		}
+	}
+}
+
+func TestAppendRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendEpochs(t, l, 23, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEpochs(t, info.Epochs, want)
+	if info.TornTail {
+		t.Fatal("clean log reported torn tail")
+	}
+	if info.LastSeq != want[len(want)-1].Seq {
+		t.Fatalf("LastSeq=%d want %d", info.LastSeq, want[len(want)-1].Seq)
+	}
+}
+
+func TestRecoverEmptyAndMissingDir(t *testing.T) {
+	info, err := Recover(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(info.Epochs) != 0 || info.LastSeq != 0 {
+		t.Fatalf("missing dir: info=%+v err=%v", info, err)
+	}
+	info, err = Recover(t.TempDir())
+	if err != nil || len(info.Epochs) != 0 {
+		t.Fatalf("empty dir: info=%+v err=%v", info, err)
+	}
+}
+
+func TestCheckpointCoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendEpochs(t, l, 12, 0)
+
+	// Checkpoint state "as of" epoch 6, rotate so the covered segment
+	// becomes prunable, then log more.
+	ckptSeq := want[5].Seq
+	keys := []bitstr.String{testKey(1000), testKey(1001)}
+	values := []uint64{7, 9}
+	if _, err := WriteCheckpoint(dir, ckptSeq, 2, func(emit func(bitstr.String, uint64)) {
+		for i := range keys {
+			emit(keys[i], values[i])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PruneThrough(ckptSeq); err != nil {
+		t.Fatal(err)
+	}
+	more := appendEpochs(t, l, 4, 100)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointSeq != ckptSeq {
+		t.Fatalf("CheckpointSeq=%d want %d", info.CheckpointSeq, ckptSeq)
+	}
+	if len(info.Keys) != 2 || !bitstr.Equal(info.Keys[0], keys[0]) || info.Values[1] != 9 {
+		t.Fatalf("checkpoint payload mismatch: %v %v", info.Keys, info.Values)
+	}
+	// Tail must be exactly epochs 7.. plus the post-rotate appends.
+	wantTail := append(append([]Epoch{}, want[6:]...), more...)
+	checkEpochs(t, info.Epochs, wantTail)
+
+	// The pre-rotate segment was NOT fully covered (epochs 7-12 live
+	// there), so pruning must have kept it.
+	segs, _ := listSegments(dir)
+	if len(segs) != 2 {
+		t.Fatalf("segments=%v want 2 files", segs)
+	}
+}
+
+func TestPruneRemovesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendEpochs(t, l, 6, 0)
+	last := want[len(want)-1].Seq
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PruneThrough(last); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 || segs[0] != last+1 {
+		t.Fatalf("segments=%v want only the active one at %d", segs, last+1)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("Stats.Segments=%d want 1", st.Segments)
+	}
+	l.Close()
+}
+
+// TestTornTailFuzz truncates the log at every byte offset inside the
+// final record and asserts recovery yields exactly the preceding
+// epochs — the acknowledged prefix (satellite: fuzz-style loop).
+func TestTornTailFuzz(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendEpochs(t, l, 7, 0)
+	seg := segmentPath(dir, 1)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := fi.Size()
+	final := appendEpochs(t, l, 1, 500)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) <= sizeBefore {
+		t.Fatalf("final record added no bytes (%d <= %d)", len(raw), sizeBefore)
+	}
+
+	for cut := sizeBefore; cut <= int64(len(raw)); cut++ {
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, filepath.Base(seg)), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, err := Recover(tdir)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		switch {
+		case cut == int64(len(raw)): // untruncated control
+			checkEpochs(t, info.Epochs, append(append([]Epoch{}, want...), final...))
+			if info.TornTail {
+				t.Fatalf("cut=%d: full log reported torn", cut)
+			}
+		default:
+			checkEpochs(t, info.Epochs, want)
+			if torn := cut > sizeBefore; info.TornTail != torn {
+				t.Fatalf("cut=%d: TornTail=%v want %v", cut, info.TornTail, torn)
+			}
+		}
+	}
+
+	// A bit flip inside the final record's payload must also drop
+	// exactly that record.
+	for _, flip := range []int64{sizeBefore + frameHeaderSize, int64(len(raw)) - 1} {
+		tdir := t.TempDir()
+		mut := append([]byte{}, raw...)
+		mut[flip] ^= 0x40
+		if err := os.WriteFile(filepath.Join(tdir, filepath.Base(seg)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, err := Recover(tdir)
+		if err != nil {
+			t.Fatalf("flip=%d: %v", flip, err)
+		}
+		checkEpochs(t, info.Epochs, want)
+		if !info.TornTail {
+			t.Fatalf("flip=%d: corrupt final record not reported torn", flip)
+		}
+	}
+}
+
+// TestReopenAfterTornTail exercises the crash-reopen protocol: the
+// new log re-issues the torn record's sequence number in a fresh
+// segment and recovery stitches the two together.
+func TestReopenAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendEpochs(t, l, 5, 0)
+	torn := appendEpochs(t, l, 1, 900)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record.
+	seg := segmentPath(dir, 1)
+	raw, _ := os.ReadFile(seg)
+	if err := os.WriteFile(seg, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEpochs(t, info.Epochs, want)
+	if !info.TornTail || info.LastSeq != want[len(want)-1].Seq {
+		t.Fatalf("info=%+v", info)
+	}
+
+	// Reopen where recovery left off: the torn seq is re-assigned.
+	l2, err := Open(Options{Dir: dir, Policy: SyncNone, NextSeq: info.LastSeq + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := appendEpochs(t, l2, 3, 200)
+	if more[0].Seq != torn[0].Seq {
+		t.Fatalf("reopened log assigned seq %d, want reuse of torn seq %d", more[0].Seq, torn[0].Seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEpochs(t, info2.Epochs, append(append([]Epoch{}, want...), more...))
+	if info2.TornTail {
+		t.Fatal("stitched log reported torn tail")
+	}
+}
+
+func TestSyncIntervalAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	l, err := Open(Options{
+		Dir: dir, Policy: SyncInterval, Interval: time.Millisecond,
+		Metrics: reg, MetricLabels: []metrics.Label{metrics.L("dirrole", "test")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEpochs(t, l, 8, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if l.Stats().Fsyncs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval policy never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 8 || st.LastSeq != 8 || st.Bytes == 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestPruneCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	emit := func(func(bitstr.String, uint64)) {}
+	for _, seq := range []uint64{3, 7, 12} {
+		if _, err := WriteCheckpoint(dir, seq, 0, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := PruneCheckpoints(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := listCheckpoints(dir)
+	if len(seqs) != 2 || seqs[0] != 7 || seqs[1] != 12 {
+		t.Fatalf("checkpoints=%v want [7 12]", seqs)
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	kv := func(k bitstr.String, v uint64) func(func(bitstr.String, uint64)) {
+		return func(emit func(bitstr.String, uint64)) { emit(k, v) }
+	}
+	if _, err := WriteCheckpoint(dir, 4, 1, kv(testKey(1), 11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCheckpoint(dir, 9, 1, kv(testKey(2), 22)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newer checkpoint; recovery must fall back to seq 4.
+	path := checkpointPath(dir, 9)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointSeq != 4 || len(info.Keys) != 1 || info.Values[0] != 11 {
+		t.Fatalf("info=%+v", info)
+	}
+}

@@ -266,6 +266,29 @@ func (ix *Index) Stats() Stats { return ix.core.CollectStats() }
 // injected-fault counts.
 func (ix *Index) Health() Health { return ix.core.Health() }
 
+// Snapshot is an immutable point-in-time view of the stored pairs,
+// frozen at a batch boundary: Get, LCPLen, WalkKeys, Keys, KeyCount
+// and SubtreeKeys all answer from the frozen version, safe for
+// concurrent use, while write batches keep committing on the live
+// index. Backups, exports and long analytic scans run against a
+// Snapshot instead of stalling the write path.
+type Snapshot = trie.Flat
+
+// Snapshot freezes the current contents. Unlike every other batch
+// method it is safe to call from any goroutine concurrently with an
+// executing batch (it reads only the lock-protected host key
+// authority); repeated calls between mutations share one flattened
+// copy. The index must be recoverable (Options.Recoverable or
+// Options.Faults) — Snapshot panics otherwise, since only recoverable
+// indexes retain the host-side state a snapshot freezes.
+func (ix *Index) Snapshot() *Snapshot {
+	s := ix.core.Snapshot()
+	if s == nil {
+		panic("pimtrie: Snapshot requires a recoverable index (set Options.Recoverable)")
+	}
+	return s
+}
+
 // catchFaults converts *pim.ModuleLostError and *pim.InvariantError
 // panics into errors for the Try* operation variants; other panics
 // propagate.

@@ -1,0 +1,78 @@
+package pimtrie
+
+import (
+	"testing"
+
+	"github.com/pimlab/pimtrie/internal/bitstr"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// TestSnapshotFreezesVersion pins the COW contract: a Snapshot is
+// frozen at the batch boundary it was taken on, unaffected by later
+// inserts and deletes, and repeated calls between mutations share one
+// flattened copy.
+func TestSnapshotFreezesVersion(t *testing.T) {
+	ix := New(8, Options{Seed: 7, Recoverable: true})
+	g := workload.New(7)
+	keys := g.VarLen(300, 12, 60)
+	values := g.Values(len(keys))
+	ix.Load(keys, values)
+
+	snap := ix.Snapshot()
+	if snap.KeyCount() != ix.Len() {
+		t.Fatalf("snapshot has %d keys, index %d", snap.KeyCount(), ix.Len())
+	}
+	if again := ix.Snapshot(); again != snap {
+		t.Fatal("unchanged index re-flattened instead of sharing the snapshot")
+	}
+	frozen := map[string]uint64{}
+	snap.WalkKeys(func(k bitstr.String, v uint64) { frozen[k.String()] = v })
+
+	// Mutate: overwrite some values, delete some keys, add new ones.
+	ix.Insert(keys[:50], g.Values(50))
+	ix.Delete(keys[50:100])
+	extra := g.VarLen(80, 12, 60)
+	ix.Insert(extra, g.Values(len(extra)))
+
+	// The frozen version must still answer exactly the pre-mutation
+	// contents.
+	if snap.KeyCount() != len(frozen) {
+		t.Fatalf("frozen KeyCount changed: %d != %d", snap.KeyCount(), len(frozen))
+	}
+	seen := 0
+	snap.WalkKeys(func(k bitstr.String, v uint64) {
+		if want, ok := frozen[k.String()]; !ok || want != v {
+			t.Fatalf("frozen walk drifted at %v: got %d want %d (present=%v)", k, v, want, ok)
+		}
+		seen++
+	})
+	if seen != len(frozen) {
+		t.Fatalf("frozen walk yielded %d pairs, want %d", seen, len(frozen))
+	}
+
+	// A fresh snapshot sees the mutations.
+	snap2 := ix.Snapshot()
+	if snap2 == snap {
+		t.Fatal("mutated index returned the stale snapshot")
+	}
+	if snap2.KeyCount() != ix.Len() {
+		t.Fatalf("new snapshot has %d keys, index %d", snap2.KeyCount(), ix.Len())
+	}
+	vals, found := ix.Get(keys[:50])
+	for i := range vals {
+		got, ok := snap2.Get(keys[i])
+		if !found[i] || !ok || got != vals[i] {
+			t.Fatalf("snapshot/index disagree on key %d: (%d,%v) vs (%d,%v)", i, got, ok, vals[i], found[i])
+		}
+	}
+}
+
+// TestSnapshotRequiresRecoverable pins the misuse panic.
+func TestSnapshotRequiresRecoverable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot on a non-recoverable index did not panic")
+		}
+	}()
+	New(4, Options{Seed: 1}).Snapshot()
+}
