@@ -85,7 +85,7 @@ func pol(p wal.SyncPolicy) *wal.SyncPolicy { return &p }
 // runDurScenario drives conc closed-loop writer clients (depth async
 // calls in flight each, 4 keys per call, ~10% deletes) against a fresh
 // preloaded recoverable index for dur.
-func runDurScenario(p durPolicy, sc experiments.Scale, conc, depth int, dur time.Duration, walRoot string) (DurScenario, error) {
+func runDurScenario(p durPolicy, sc experiments.Scale, conc, depth int, dur time.Duration, walRoot string) (DurScenario, *latencyRecorder, error) {
 	g := workload.New(sc.Seed)
 	keys := g.VarLen(sc.N, 16, 64)
 	idx := pimtrie.New(sc.P, pimtrie.Options{Seed: sc.Seed, Recoverable: true})
@@ -95,12 +95,12 @@ func runDurScenario(p durPolicy, sc experiments.Scale, conc, depth int, dur time
 	if p.policy != nil {
 		dir, err := os.MkdirTemp(walRoot, "pimbench-wal-*")
 		if err != nil {
-			return DurScenario{}, err
+			return DurScenario{}, nil, err
 		}
 		defer os.RemoveAll(dir)
 		log, err := wal.Open(wal.Options{Dir: dir, Policy: *p.policy})
 		if err != nil {
-			return DurScenario{}, err
+			return DurScenario{}, nil, err
 		}
 		opts.Durable = &serve.Durable{Log: log, OwnLog: true}
 	}
@@ -165,7 +165,7 @@ func runDurScenario(p durPolicy, sc experiments.Scale, conc, depth int, dur time
 	}
 	srv.Close()
 	if err := srv.DurabilityErr(); err != nil {
-		return DurScenario{}, fmt.Errorf("%s: %w", p.name, err)
+		return DurScenario{}, nil, fmt.Errorf("%s: %w", p.name, err)
 	}
 	all := &latencyRecorder{}
 	all.merge(lats...)
@@ -178,7 +178,7 @@ func runDurScenario(p durPolicy, sc experiments.Scale, conc, depth int, dur time
 		WALAppends:  ws.Appends,
 		WALFsyncs:   ws.Fsyncs,
 		WALMBytes:   float64(ws.Bytes) / (1 << 20),
-	}, nil
+	}, all, nil
 }
 
 // runDurableSuite executes the durability scenarios and writes the
@@ -208,6 +208,7 @@ func runDurableSuite(sc experiments.Scale, conc, depth int, dur time.Duration, w
 	const passes = 3
 	rep.Passes = passes
 	samples := make(map[string][]DurScenario)
+	recs := make(map[string][]*latencyRecorder)
 	for pass := 0; pass < passes; pass++ {
 		order := make([]durPolicy, len(scenarios))
 		copy(order, scenarios)
@@ -218,11 +219,12 @@ func runDurableSuite(sc experiments.Scale, conc, depth int, dur time.Duration, w
 		}
 		for _, p := range order {
 			runtime.GC()
-			res, err := runDurScenario(p, sc, conc, depth, dur, walRoot)
+			res, rec, err := runDurScenario(p, sc, conc, depth, dur, walRoot)
 			if err != nil {
 				return err
 			}
 			samples[p.name] = append(samples[p.name], res)
+			recs[p.name] = append(recs[p.name], rec)
 		}
 	}
 	median := func(name string) DurScenario {
@@ -236,9 +238,17 @@ func runDurableSuite(sc experiments.Scale, conc, depth int, dur time.Duration, w
 		if p.policy != nil && baseline > 0 {
 			res.OverheadPct = 100 * (1 - res.OpsPerSec/baseline)
 		}
-		fmt.Printf("%-20s %9.0f calls/s  p50 %8s  p99 %8s  epochs %6d  appends %6d  fsyncs %5d  wal %6.1f MB  overhead %5.1f%%\n",
+		// Throughput and counters come from the median pass (drift-robust),
+		// but the published percentiles digest EVERY pass's samples — the
+		// same pooling the serve suites use, so tail latencies rest on
+		// passes x requests observations instead of one pass's worth.
+		pool := &latencyRecorder{}
+		pool.merge(recs[p.name]...)
+		res.Latency = pool.summary()
+		fmt.Printf("%-20s %9.0f calls/s  p50 %8s  p95 %8s  p99 %8s  epochs %6d  appends %6d  fsyncs %5d  wal %6.1f MB  overhead %5.1f%%\n",
 			res.Name, res.OpsPerSec,
 			time.Duration(int64(res.Latency.P50Ns)).Round(time.Microsecond),
+			time.Duration(int64(res.Latency.P95Ns)).Round(time.Microsecond),
 			time.Duration(int64(res.Latency.P99Ns)).Round(time.Microsecond),
 			res.WriteEpochs, res.WALAppends, res.WALFsyncs, res.WALMBytes, res.OverheadPct)
 		if p.name == "writes-wal-interval" {

@@ -14,6 +14,7 @@
 //	pimbench -bench BENCH.json       # wall-clock suite (ns/op, allocs/op, rounds/s)
 //	pimbench -bench - -cpuprofile cpu.pprof -memprofile mem.pprof
 //	pimbench -serve BENCH_PR5.json -conc 64 -zipf 1.0   # concurrent serving suite
+//	pimbench -serve-read BENCH_PR10.json             # strong vs snapshot read paths
 //	pimbench -durable BENCH_PR9.json                 # WAL fsync-policy overhead
 //	pimbench -restart-chaos 8                        # SIGKILL + bit-exact recovery
 package main
@@ -114,6 +115,7 @@ func main() {
 		jsonP = flag.String("json", "", "write machine-readable results (experiment id -> table) to this path")
 		bench = flag.String("bench", "", "run the wall-clock benchmark suite and write a JSON report to this path (\"-\" for stdout only)")
 		srvP  = flag.String("serve", "", "run the concurrent-serving benchmark and write a JSON report to this path (\"-\" for stdout only)")
+		srdP  = flag.String("serve-read", "", "run the read-path benchmark (read-mix x consistency-mode x clients grid) and write a JSON report to this path (\"-\" for stdout only)")
 		durbP = flag.String("durable", "", "run the write-durability benchmark (WAL fsync policies vs non-durable baseline) and write a JSON report to this path (\"-\" for stdout only)")
 		walD  = flag.String("wal-dir", "", "durability: directory for write-ahead-log state (default: a temp dir)")
 		walS  = flag.String("wal-sync", "interval", "durability: WAL fsync policy — epoch, interval or off")
@@ -213,6 +215,15 @@ func main() {
 		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
 		if err := runDurableSuite(sc, *conc, *depth, *dur, *walD, *durbP); err != nil {
 			fmt.Fprintf(os.Stderr, "pimbench: durable: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *srdP != "" {
+		sc := experiments.Scale{P: *p, N: *n, Batch: *batch, Seed: *seed}
+		if err := runServeReadSuite(sc, *depth, *zipfS, *dur, *lngr, *srdP); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: serve-read: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,219 @@
+package main
+
+// Read-path benchmark (-serve-read): the same closed-loop clients as
+// -serve, but sweeping the read/write mix and the read consistency mode
+// — ReadStrong through the epoch scheduler vs ReadSnapshot off the
+// published COW snapshot. The grid is {50/50, 90/10, 99/1 read mix} x
+// {strong, snapshot} x {1, 16, 64 clients}; writes always overwrite
+// Zipf-hot keys through the scheduler, so snapshot scenarios measure
+// the fast path under constant republication and real recent-writes
+// fallbacks, not an idle read-only index. The headline number is the
+// snapshot/strong throughput ratio at the 90/10 mix with 64 clients —
+// the read-heavy skewed regime the wait-free path exists for.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pimlab/pimtrie"
+	"github.com/pimlab/pimtrie/internal/experiments"
+	"github.com/pimlab/pimtrie/internal/serve"
+	"github.com/pimlab/pimtrie/internal/workload"
+)
+
+// ReadScenario is one (mix, mode, clients) cell's measured record.
+type ReadScenario struct {
+	Name      string         `json:"name"`
+	Mode      string         `json:"mode"` // "strong" | "snapshot"
+	ReadPct   int            `json:"read_pct"`
+	Clients   int            `json:"clients"`
+	Requests  int64          `json:"requests"`
+	OpsPerSec float64        `json:"ops_per_sec"`
+	Latency   LatencySummary `json:"latency"`
+	// Snapshot-path accounting (zero in strong mode).
+	SnapshotKeys      uint64 `json:"snapshot_keys,omitempty"`
+	SnapshotFallbacks uint64 `json:"snapshot_fallbacks,omitempty"`
+}
+
+// ReadReport is the file format of -serve-read output (BENCH_PR10.json).
+type ReadReport struct {
+	Scale       experiments.Scale `json:"scale"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	When        string            `json:"when"`
+	Depth       int               `json:"pipeline_depth"`
+	Zipf        float64           `json:"zipf"`
+	DurationSec float64           `json:"duration_sec"`
+	LingerSec   float64           `json:"linger_sec"`
+	Results     []ReadScenario    `json:"results"`
+	// SnapshotSpeedup is ops/sec(snapshot)/ops/sec(strong) at the 90/10
+	// mix with 64 clients; SnapshotP50Ratio the matching p50 ratio
+	// (lower is better for the snapshot path).
+	SnapshotSpeedup  float64 `json:"snapshot_speedup_90r_64c"`
+	SnapshotP50Ratio float64 `json:"snapshot_p50_ratio_90r_64c"`
+}
+
+// runReadScenario drives clients closed-loop workers mixing readPct%
+// reads (in the given consistency mode) with Zipf-hot overwrites for
+// dur against a fresh preloaded recoverable index. Strong reads and all
+// writes pipeline depth-deep like -serve; snapshot reads run inline on
+// the client goroutine — wait-free calls have nothing to overlap.
+func runReadScenario(name, mode string, readPct, clients int, sc experiments.Scale, depth int, zipfS float64, dur, linger time.Duration) ReadScenario {
+	g := workload.New(sc.Seed)
+	keys := g.VarLen(sc.N, 48, 192)
+	idx := pimtrie.New(sc.P, pimtrie.Options{Seed: sc.Seed, Recoverable: true})
+	idx.Load(keys, g.Values(len(keys)))
+	maxBatch := clients * depth
+	if maxBatch < sc.Batch {
+		maxBatch = sc.Batch
+	}
+	srv := serve.NewServer(idx, serve.Options{
+		MaxBatch:      maxBatch,
+		MaxLinger:     linger,
+		SnapshotReads: mode == "snapshot",
+	})
+
+	var stop atomic.Bool
+	var total atomic.Int64
+	lats := make([]*latencyRecorder, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		lat := &latencyRecorder{}
+		lats[w] = lat
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := workload.NewKeyStream(keys, int64(1000+w), zipfS)
+			r := rand.New(rand.NewSource(int64(3000 + w)))
+			ks := make([]pimtrie.Key, 1)
+			vb := make([]uint64, 1)
+			fb := make([]bool, 1)
+			window := make([]inflight, depth)
+			pending, head := 0, 0
+			n := int64(0)
+			for !stop.Load() {
+				k := stream.Next()
+				if r.Intn(100) < readPct && mode == "snapshot" {
+					// Wait-free read: resolves on this goroutine, so it
+					// neither needs nor benefits from the pipeline window.
+					ks[0] = k
+					start := time.Now()
+					srv.GetBatch(serve.ReadSnapshot, ks, vb, fb)
+					lat.observe(time.Since(start))
+					n++
+					continue
+				}
+				if pending == depth {
+					h := window[head]
+					head = (head + 1) % depth
+					pending--
+					h.wait()
+					lat.observe(time.Since(h.start))
+					n++
+				}
+				var wait func()
+				if r.Intn(100) < readPct {
+					f := srv.GetAsync(k)
+					wait = func() { f.Wait() }
+				} else {
+					f := srv.InsertAsync([]pimtrie.Key{k}, []uint64{r.Uint64()})
+					wait = func() { f.Wait() }
+				}
+				window[(head+pending)%depth] = inflight{start: time.Now(), wait: wait}
+				pending++
+			}
+			for i := 0; i < pending; i++ {
+				window[(head+i)%depth].wait()
+			}
+			total.Add(n)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	st := srv.Stats()
+	srv.Close()
+	all := &latencyRecorder{}
+	all.merge(lats...)
+	return ReadScenario{
+		Name:              name,
+		Mode:              mode,
+		ReadPct:           readPct,
+		Clients:           clients,
+		Requests:          total.Load(),
+		OpsPerSec:         float64(total.Load()) / dur.Seconds(),
+		Latency:           all.summary(),
+		SnapshotKeys:      st.SnapshotKeys,
+		SnapshotFallbacks: st.SnapshotFallbacks,
+	}
+}
+
+// runServeReadSuite executes the read-mix x mode x clients grid and
+// writes the JSON report to path ("-" for stdout only).
+func runServeReadSuite(sc experiments.Scale, depth int, zipfS float64, dur, linger time.Duration, path string) error {
+	rep := ReadReport{
+		Scale:       sc,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		When:        time.Now().UTC().Format(time.RFC3339),
+		Depth:       depth,
+		Zipf:        zipfS,
+		DurationSec: dur.Seconds(),
+		LingerSec:   linger.Seconds(),
+	}
+	fmt.Printf("serve-read: depth %d, Zipf(%.2f), %v per scenario, linger %v, P=%d n=%d (GOMAXPROCS=%d)\n\n",
+		depth, zipfS, dur, linger, sc.P, sc.N, rep.GoMaxProcs)
+
+	var strong90c64, snap90c64 *ReadScenario
+	for _, readPct := range []int{50, 90, 99} {
+		for _, clients := range []int{1, 16, 64} {
+			for _, mode := range []string{"strong", "snapshot"} {
+				name := fmt.Sprintf("read%d-%s-c%d", readPct, mode, clients)
+				runtime.GC()
+				res := runReadScenario(name, mode, readPct, clients, sc, depth, zipfS, dur, linger)
+				fmt.Printf("%-22s %9.0f ops/s  p50 %8s  p95 %8s  p99 %8s  snap %d/%d\n",
+					res.Name, res.OpsPerSec,
+					time.Duration(int64(res.Latency.P50Ns)).Round(time.Microsecond),
+					time.Duration(int64(res.Latency.P95Ns)).Round(time.Microsecond),
+					time.Duration(int64(res.Latency.P99Ns)).Round(time.Microsecond),
+					res.SnapshotKeys, res.SnapshotFallbacks)
+				rep.Results = append(rep.Results, res)
+				if readPct == 90 && clients == 64 {
+					last := &rep.Results[len(rep.Results)-1]
+					if mode == "strong" {
+						strong90c64 = last
+					} else {
+						snap90c64 = last
+					}
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if strong90c64 != nil && snap90c64 != nil && strong90c64.OpsPerSec > 0 {
+		rep.SnapshotSpeedup = snap90c64.OpsPerSec / strong90c64.OpsPerSec
+		if strong90c64.Latency.P50Ns > 0 {
+			rep.SnapshotP50Ratio = float64(snap90c64.Latency.P50Ns) / float64(strong90c64.Latency.P50Ns)
+		}
+		fmt.Printf("snapshot-read speedup at 90/10, 64 clients: %.2fx (p50 ratio %.3f)\n\n",
+			rep.SnapshotSpeedup, rep.SnapshotP50Ratio)
+	}
+	if path == "" || path == "-" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -194,9 +194,9 @@ type PIMTrie struct {
 	// must rebuild from the shadow instead of repairing in place.
 	recoverable  bool
 	shadow       *trie.Trie
-	shadowMu     sync.RWMutex                // mutation vs Snapshot flattening (snapshot.go)
-	shadowVer    uint64                      // mutating batches applied; guarded by shadowMu
-	snapCache    atomic.Pointer[shadowSnap]  // memoized flattened snapshot, keyed by shadowVer
+	shadowMu     sync.RWMutex               // mutation vs Snapshot flattening (snapshot.go)
+	shadowVer    uint64                     // mutating batches applied; guarded by shadowMu
+	snapCache    atomic.Pointer[shadowSnap] // memoized flattened snapshot, keyed by shadowVer
 	blockDir     map[pim.Addr]bitstr.String
 	dirty        int
 	degraded     bool

@@ -45,6 +45,13 @@ type serveMetrics struct {
 	cacheMisses *metrics.Counter
 	cacheAdmits *metrics.Counter
 
+	snapReads     *metrics.Counter
+	snapFallbacks *metrics.Counter
+	snapAge       *metrics.Gauge
+	snapEpoch     *metrics.Gauge
+	compChunks    *metrics.Counter
+	compChunkKeys *metrics.Histogram
+
 	prepareSec *metrics.Histogram
 	executeSec *metrics.Histogram
 	stageBusy  [2]*metrics.Gauge
@@ -67,21 +74,27 @@ func newServeMetrics(reg *metrics.Registry, base []metrics.Label) *serveMetrics 
 		return append(out, ls...)
 	}
 	m := &serveMetrics{
-		queueDepth:  reg.Gauge("pimtrie_serve_queue_depth", "requests admitted but not yet formed into an epoch", lbl()...),
-		linger:      reg.Histogram("pimtrie_serve_linger_seconds", "time a request waited in the queue before its epoch formed", lbl()...),
-		epochKeys:   reg.Histogram("pimtrie_serve_epoch_keys", "unique keys per executed sub-batch", lbl()...),
-		readEpochs:  reg.Counter("pimtrie_serve_read_epochs_total", "committed read epochs", lbl()...),
-		writeEpochs: reg.Counter("pimtrie_serve_write_epochs_total", "committed write epochs", lbl()...),
-		deduped:     reg.Counter("pimtrie_serve_read_keys_deduped_total", "read keys absorbed by singleflight dedupe within an epoch", lbl()...),
-		dedupRatio:  reg.Gauge("pimtrie_serve_read_dedupe_ratio", "cumulative fraction of epoch-admitted read keys absorbed by dedupe", lbl()...),
-		cacheHits:   reg.Counter("pimtrie_serve_cache_hits_total", "read requests served entirely from the hot-key cache", lbl()...),
-		cacheMisses: reg.Counter("pimtrie_serve_cache_misses_total", "cacheable read requests that reached the queues", lbl()...),
-		cacheAdmits: reg.Counter("pimtrie_serve_cache_admissions_total", "read results admitted into the hot-key cache", lbl()...),
-		prepareSec:  reg.Histogram("pimtrie_serve_prepare_seconds", "host-side preparation time per epoch (pipeline stage A)", lbl()...),
-		executeSec:  reg.Histogram("pimtrie_serve_execute_seconds", "index execution time per epoch (pipeline stage B)", lbl()...),
-		degraded:    reg.Gauge("pimtrie_index_degraded", "1 while a module-loss recovery is in progress", lbl()...),
-		deadModules: reg.Gauge("pimtrie_index_dead_modules", "currently crash-stopped modules", lbl()...),
-		recoveries:  reg.Counter("pimtrie_index_recoveries_total", "completed module-loss recoveries", lbl()...),
+		queueDepth:    reg.Gauge("pimtrie_serve_queue_depth", "requests admitted but not yet formed into an epoch", lbl()...),
+		linger:        reg.Histogram("pimtrie_serve_linger_seconds", "time a request waited in the queue before its epoch formed", lbl()...),
+		epochKeys:     reg.Histogram("pimtrie_serve_epoch_keys", "unique keys per executed sub-batch", lbl()...),
+		readEpochs:    reg.Counter("pimtrie_serve_read_epochs_total", "committed read epochs", lbl()...),
+		writeEpochs:   reg.Counter("pimtrie_serve_write_epochs_total", "committed write epochs", lbl()...),
+		deduped:       reg.Counter("pimtrie_serve_read_keys_deduped_total", "read keys absorbed by singleflight dedupe within an epoch", lbl()...),
+		dedupRatio:    reg.Gauge("pimtrie_serve_read_dedupe_ratio", "cumulative fraction of epoch-admitted read keys absorbed by dedupe", lbl()...),
+		cacheHits:     reg.Counter("pimtrie_serve_cache_hits_total", "read requests served entirely from the hot-key cache", lbl()...),
+		cacheMisses:   reg.Counter("pimtrie_serve_cache_misses_total", "cacheable read requests that reached the queues", lbl()...),
+		cacheAdmits:   reg.Counter("pimtrie_serve_cache_admissions_total", "read results admitted into the hot-key cache", lbl()...),
+		snapReads:     reg.Counter("pimtrie_serve_snapshot_reads_total", "keys served wait-free from the published COW snapshot", lbl()...),
+		snapFallbacks: reg.Counter("pimtrie_serve_snapshot_fallbacks_total", "ReadSnapshot keys sent back to the epoch path by the recent-writes filter", lbl()...),
+		snapAge:       reg.Gauge("pimtrie_serve_snapshot_age_epochs", "committed write epochs the published snapshot trailed by at the last snapshot read", lbl()...),
+		snapEpoch:     reg.Gauge("pimtrie_serve_snapshot_epoch", "write-epoch stamp of the currently published snapshot", lbl()...),
+		compChunks:    reg.Counter("pimtrie_serve_completion_chunks_total", "batched completion chunks handed to the completion workers", lbl()...),
+		compChunkKeys: reg.Histogram("pimtrie_serve_completion_chunk_keys", "keys resolved per batched completion chunk", lbl()...),
+		prepareSec:    reg.Histogram("pimtrie_serve_prepare_seconds", "host-side preparation time per epoch (pipeline stage A)", lbl()...),
+		executeSec:    reg.Histogram("pimtrie_serve_execute_seconds", "index execution time per epoch (pipeline stage B)", lbl()...),
+		degraded:      reg.Gauge("pimtrie_index_degraded", "1 while a module-loss recovery is in progress", lbl()...),
+		deadModules:   reg.Gauge("pimtrie_index_dead_modules", "currently crash-stopped modules", lbl()...),
+		recoveries:    reg.Counter("pimtrie_index_recoveries_total", "completed module-loss recoveries", lbl()...),
 		fullRebuilds: reg.Counter("pimtrie_index_full_rebuilds_total",
 			"recoveries that rebuilt the whole index from the host shadow", lbl()...),
 		modulesLost: reg.Counter("pimtrie_index_modules_lost_total", "modules lost across all recoveries", lbl()...),

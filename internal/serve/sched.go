@@ -19,6 +19,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pimlab/pimtrie"
@@ -81,7 +82,16 @@ type Server struct {
 	closedCh chan struct{}
 	plans    chan *epochPlan
 	demand   chan struct{} // executor's request for the next plan
+	compCh   chan []*call  // batched completion chunks to the completers
 	wg       sync.WaitGroup
+
+	// Snapshot read path (Options.SnapshotReads); see snapshot.go.
+	snapFilter    *writeFilter              // recent-writes filter, nil when disabled
+	pub           atomic.Pointer[snapState] // published (flat, stamp) pair
+	committedW    atomic.Uint64             // write epochs committed on the index
+	snapDirty     chan struct{}             // publisher wake-up, capacity 1
+	snapKeys      atomic.Uint64             // keys served from the snapshot
+	snapFallbacks atomic.Uint64             // ReadSnapshot keys bounced to the epoch path
 
 	met *serveMetrics       // nil unless Options.Metrics is set
 	ctl *adaptiveController // nil unless Options.AdaptiveLinger is set
@@ -122,6 +132,16 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 	if s.opts.Durable != nil {
 		s.dur = newDurableState(ix, *s.opts.Durable, s.opts.Metrics, s.opts.MetricLabels)
 	}
+	if s.opts.SnapshotReads {
+		if !ix.Health().Recoverable {
+			panic("serve: Options.SnapshotReads requires a recoverable index (set pimtrie.Options.Recoverable: snapshots flatten the host shadow)")
+		}
+		s.snapFilter = newWriteFilter(s.opts.SnapshotFilterBits)
+		s.snapDirty = make(chan struct{}, 1)
+		s.publishSnapshot() // a snapshot is live before the first request
+		s.wg.Add(1)
+		go s.publisher()
+	}
 	s.sampleHealth() // baseline before the scheduler goroutines exist
 	if !s.opts.NoPipeline {
 		// Formation is demand-paced: the executor emits one demand token
@@ -137,6 +157,15 @@ func NewServer(ix *pimtrie.Index, opts Options) *Server {
 		s.demand <- struct{}{}
 		s.wg.Add(1)
 		go s.executor()
+		// Completion delivery is batched: the executor hands each epoch's
+		// resolved calls to the completers in chunks instead of settling
+		// every future inline, so result distribution stops scaling the
+		// executor's critical path with the client count.
+		s.compCh = make(chan []*call, completionQueue)
+		for i := 0; i < completionWorkers; i++ {
+			s.wg.Add(1)
+			go s.completer()
+		}
 	}
 	s.wg.Add(1)
 	go s.batcher()
@@ -166,8 +195,11 @@ func (s *Server) Close() {
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.SnapshotKeys = s.snapKeys.Load()
+	st.SnapshotFallbacks = s.snapFallbacks.Load()
+	return st
 }
 
 // History returns the committed epoch records (Options.RecordHistory).
@@ -246,7 +278,7 @@ func (s *Server) resolveEmpty(op Op, f *future) {
 	case OpDelete:
 		f.found = []bool{}
 	}
-	close(f.done)
+	f.settle()
 }
 
 // tryCacheLocked serves c entirely from the hot-key cache if every key
@@ -296,8 +328,7 @@ func (s *Server) tryCacheLocked(c *call) bool {
 		}
 		s.hist = append(s.hist, &EpochRecord{Ops: []*OpRecord{rec}})
 	}
-	s.observeLatency(c)
-	close(c.fut.done)
+	s.finish(c)
 	return true
 }
 
@@ -313,6 +344,8 @@ func (s *Server) batcher() {
 		if plan == nil {
 			if s.plans != nil {
 				close(s.plans)
+			} else {
+				s.finishExec() // NoPipeline: this goroutine was the executor
 			}
 			return
 		}
@@ -348,6 +381,88 @@ func (s *Server) executor() {
 		default:
 		}
 		s.execute(plan)
+	}
+	s.finishExec()
+}
+
+// finishExec runs on the executing goroutine once the last epoch has
+// committed: it stops the completers and the snapshot publisher (whose
+// final publish then captures the fully drained state).
+func (s *Server) finishExec() {
+	if s.compCh != nil {
+		close(s.compCh)
+	}
+	if s.snapDirty != nil {
+		close(s.snapDirty)
+	}
+}
+
+// Batched completion delivery: chunks of this many resolved calls wake
+// one completer each, amortizing the scheduler handoff; epochs at or
+// below inlineCompletion calls settle inline — a chunk handoff would
+// cost more than it saves.
+const (
+	completionWorkers = 2
+	completionQueue   = 16
+	completionChunk   = 32
+	inlineCompletion  = 4
+)
+
+// completer settles chunks of resolved calls off the executor's
+// critical path.
+func (s *Server) completer() {
+	defer s.wg.Done()
+	for chunk := range s.compCh {
+		for _, c := range chunk {
+			s.finish(c)
+		}
+	}
+}
+
+// finish resolves one call exactly once; latency is observed only by
+// the resolution winner, keeping observations == admitted requests.
+func (s *Server) finish(c *call) {
+	if c.fut.state.CompareAndSwap(futPending, futSettled) {
+		s.observeLatency(c)
+		close(c.fut.done)
+	}
+}
+
+// finishErr is finish with an error.
+func (s *Server) finishErr(c *call, err error) {
+	if c.fut.state.CompareAndSwap(futPending, futSettled) {
+		c.fut.err = err
+		s.observeLatency(c)
+		close(c.fut.done)
+	}
+}
+
+// deliver resolves an epoch's calls: tiny deliveries settle inline,
+// larger ones are chunked onto the completion workers so the executor
+// can move to the next epoch while futures resolve.
+func (s *Server) deliver(calls []*call) {
+	if s.compCh == nil || len(calls) <= inlineCompletion {
+		for _, c := range calls {
+			s.finish(c)
+		}
+		return
+	}
+	for len(calls) > 0 {
+		n := completionChunk
+		if n > len(calls) {
+			n = len(calls)
+		}
+		chunk := calls[:n:n]
+		calls = calls[n:]
+		if s.met != nil {
+			keys := 0
+			for _, c := range chunk {
+				keys += len(c.keys)
+			}
+			s.met.compChunks.Inc()
+			s.met.compChunkKeys.Observe(float64(keys))
+		}
+		s.compCh <- chunk
 	}
 }
 
@@ -575,13 +690,15 @@ func (s *Server) formReadLocked() *epochPlan {
 }
 
 // notePrefixLoadLocked counts an epoch's unique executed keys into the
-// per-prefix load buckets. Caller holds s.mu.
+// per-prefix load buckets. Caller holds s.mu. The buckets are atomics
+// because the lock-free snapshot read path accounts its served keys
+// into the same array without taking the lock (noteSnapshotServed).
 func (s *Server) notePrefixLoadLocked(keys []Key) {
 	if s.prefixLoad == nil {
 		return
 	}
 	for _, k := range keys {
-		s.prefixLoad[k.PrefixIndex(s.opts.PrefixLoadBits)]++
+		atomic.AddUint64(&s.prefixLoad[k.PrefixIndex(s.opts.PrefixLoadBits)], 1)
 	}
 }
 
@@ -604,7 +721,9 @@ func (s *Server) PrefixLoad(dst []uint64) ([]uint64, uint64) {
 		dst = make([]uint64, len(s.prefixLoad))
 	}
 	dst = dst[:len(s.prefixLoad)]
-	copy(dst, s.prefixLoad)
+	for i := range s.prefixLoad {
+		dst[i] = atomic.LoadUint64(&s.prefixLoad[i])
+	}
 	return dst, epochs
 }
 
@@ -663,18 +782,20 @@ func (s *Server) execute(plan *epochPlan) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
+			// Fail whatever the epoch had not already resolved. finishErr
+			// is CAS-guarded, so futures a completion worker settled
+			// before the panic (earlier sub-batches of this epoch) are
+			// left alone instead of being double-closed.
 			err := fmt.Errorf("serve: index failure: %v", r)
 			if plan.write {
 				for _, c := range plan.calls {
-					s.observeLatency(c)
-					c.fut.fail(err)
+					s.finishErr(c, err)
 				}
 				return
 			}
 			for op := range plan.reads {
 				for _, c := range plan.reads[op].calls {
-					s.observeLatency(c)
-					c.fut.fail(err)
+					s.finishErr(c, err)
 				}
 			}
 		}
@@ -694,6 +815,22 @@ func (s *Server) executeWrite(plan *epochPlan) {
 	case OpDelete:
 		found = s.ix.DeletePrepared(plan.prep)
 	}
+	// Snapshot-path ordering: stamp the recent-writes filter, THEN
+	// advance the committed-write counter, THEN (below) acknowledge.
+	// A reader that observed this write as acked therefore finds its
+	// filter stamp already in place, so it either falls back to the
+	// epoch path or reads a snapshot that contains the write — never a
+	// stale snapshot answer for an acknowledged key.
+	if s.snapFilter != nil {
+		for _, k := range plan.keys {
+			s.snapFilter.note(keyHash(k), plan.stamp)
+		}
+		s.committedW.Store(plan.stamp)
+		select {
+		case s.snapDirty <- struct{}{}:
+		default: // publisher already pending; it reloads the counter
+		}
+	}
 	// Log-before-ack: the epoch reaches the WAL before any caller
 	// observes it as committed, so an acknowledged write survives the
 	// process. On append failure the futures fail — the in-memory
@@ -703,19 +840,12 @@ func (s *Server) executeWrite(plan *epochPlan) {
 		if err := s.dur.commitEpoch(s.ix, plan); err != nil {
 			err = fmt.Errorf("serve: wal append: %w", err)
 			for _, c := range plan.calls {
-				s.observeLatency(c)
-				c.fut.fail(err)
+				s.finishErr(c, err)
 			}
 			return
 		}
 	}
-	switch plan.op {
-	case OpInsert:
-		for _, c := range plan.calls {
-			s.observeLatency(c)
-			close(c.fut.done)
-		}
-	case OpDelete:
+	if plan.op == OpDelete {
 		off := 0
 		for _, c := range plan.calls {
 			c.fut.found = found[off : off+len(c.keys) : off+len(c.keys)]
@@ -723,10 +853,9 @@ func (s *Server) executeWrite(plan *epochPlan) {
 				c.rec.Found = c.fut.found
 			}
 			off += len(c.keys)
-			s.observeLatency(c)
-			close(c.fut.done)
 		}
 	}
+	s.deliver(plan.calls)
 }
 
 // planUniqueKeys is the number of unique keys an epoch sends to the
@@ -769,9 +898,8 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.Vals, c.rec.Found = c.fut.vals, c.fut.found
 			}
-			s.observeLatency(c)
-			close(c.fut.done)
 		}
+		s.deliver(rb.calls)
 	}
 	if rb := &plan.reads[OpLCP]; len(rb.uniq) > 0 {
 		lcps := s.ix.LCPPrepared(rb.prep)
@@ -786,9 +914,8 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.LCPs = c.fut.ints
 			}
-			s.observeLatency(c)
-			close(c.fut.done)
 		}
+		s.deliver(rb.calls)
 	}
 	if rb := &plan.reads[OpSubtree]; len(rb.uniq) > 0 {
 		kvs := s.ix.SubtreesPrepared(rb.prep)
@@ -800,9 +927,8 @@ func (s *Server) executeRead(plan *epochPlan) {
 			if c.rec != nil {
 				c.rec.KVs = c.fut.kvs
 			}
-			s.observeLatency(c)
-			close(c.fut.done)
 		}
+		s.deliver(rb.calls)
 	}
 }
 

@@ -28,6 +28,7 @@ package serve
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"github.com/pimlab/pimtrie"
@@ -131,6 +132,20 @@ type Options struct {
 	// checkpoints bounding the restart replay tail. Requires a
 	// recoverable index. See durable.go and the wal package.
 	Durable *Durable
+	// SnapshotReads enables the wait-free read fast path: the executor
+	// publishes the latest post-epoch COW snapshot through an atomic
+	// pointer and ReadSnapshot Gets (GetAsyncWith, GetWith, GetBatch)
+	// probe it on the caller's goroutine, bypassing the epoch scheduler
+	// entirely for keys the recent-writes filter proves unchanged since
+	// publication. Requires a recoverable index (pimtrie
+	// Options.Recoverable: snapshots flatten the host shadow); NewServer
+	// panics otherwise. See snapshot.go for the staleness bound.
+	SnapshotReads bool
+	// SnapshotFilterBits sizes the recent-writes filter at 2^bits
+	// epoch-stamp slots (default 14 — 128 KiB; clamped to [8, 24]).
+	// Smaller filters only cost spurious fallbacks to the epoch path,
+	// never wrong answers. Ignored without SnapshotReads.
+	SnapshotFilterBits int
 	// PrefixLoadBits enables per-key-prefix load accounting: every
 	// unique key an epoch sends to the index is counted in the bucket
 	// of its first PrefixLoadBits bits (bitstr.PrefixIndex — shorter
@@ -154,6 +169,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PrefixLoadBits < 0 {
 		o.PrefixLoadBits = 0
+	}
+	if o.SnapshotFilterBits <= 0 {
+		o.SnapshotFilterBits = 14
+	}
+	if o.SnapshotFilterBits < 8 {
+		o.SnapshotFilterBits = 8
+	}
+	if o.SnapshotFilterBits > 24 {
+		o.SnapshotFilterBits = 24
 	}
 	return o
 }
@@ -182,12 +206,23 @@ type Stats struct {
 	// MaxEpochKeys is the largest unique-key count of any executed
 	// sub-batch.
 	MaxEpochKeys int
+	// SnapshotKeys counts keys served wait-free from the published COW
+	// snapshot (Options.SnapshotReads); SnapshotFallbacks counts
+	// ReadSnapshot keys the recent-writes filter sent back to the epoch
+	// path. Neither appears in Requests/KeysRequested — snapshot hits
+	// never enter the scheduler.
+	SnapshotKeys, SnapshotFallbacks uint64
 }
 
-// future carries one request's results; resolved exactly once by the
-// executor (or at admission, for cache hits and trivial requests).
+// future carries one request's results. Resolution is exactly-once by
+// construction: settle/fail race through one CAS on state, so the
+// completion workers, the executor's panic-recover sweep, and the WAL
+// error path can all attempt resolution without coordinating. Result
+// fields are written only by the winning resolver before done closes;
+// waiters read them only after done.
 type future struct {
 	done  chan struct{}
+	state atomic.Uint32 // futPending -> futSettled, CAS guarded
 	err   error
 	ints  []int
 	vals  []uint64
@@ -195,11 +230,48 @@ type future struct {
 	kvs   [][]KV
 }
 
+const (
+	futPending = iota
+	futSettled
+)
+
 func newFuture() *future { return &future{done: make(chan struct{})} }
 
-func (f *future) fail(err error) {
+// closedDone is shared by every pre-resolved future: the snapshot fast
+// path resolves on the caller's goroutine, so Wait must not block and
+// no per-request channel is ever needed.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// resolvedFuture returns a future born settled; the caller fills the
+// result fields before handing it out.
+func resolvedFuture() *future {
+	f := &future{done: closedDone}
+	f.state.Store(futSettled)
+	return f
+}
+
+// settle resolves the future successfully; it reports whether this call
+// won (false: already resolved, a no-op).
+func (f *future) settle() bool {
+	if !f.state.CompareAndSwap(futPending, futSettled) {
+		return false
+	}
+	close(f.done)
+	return true
+}
+
+// fail resolves the future with err; it reports whether this call won.
+func (f *future) fail(err error) bool {
+	if !f.state.CompareAndSwap(futPending, futSettled) {
+		return false
+	}
 	f.err = err
 	close(f.done)
+	return true
 }
 
 // GetFuture is the handle of an in-flight Get request.

@@ -28,6 +28,9 @@ type routerMetrics struct {
 	fanout     *metrics.Counter
 	replicated *metrics.Counter
 
+	snapReads     *metrics.Counter
+	snapFallbacks *metrics.Counter
+
 	migrations   *metrics.Counter
 	migratedKeys *metrics.Counter
 	migrationDur *metrics.Histogram
@@ -42,6 +45,10 @@ func newRouterMetrics(reg *metrics.Registry, shards int) *routerMetrics {
 			"Per-shard subtree scans issued by scatter (fan-out)."),
 		replicated: reg.Counter("pimtrie_router_replicated_keys_total",
 			"Extra short-key copies written for covering-shard replication."),
+		snapReads: reg.Counter("pimtrie_router_snapshot_reads_total",
+			"Keys served shard-locally from published snapshots, bypassing the migration barrier."),
+		snapFallbacks: reg.Counter("pimtrie_router_snapshot_fallbacks_total",
+			"ReadSnapshot keys rerouted through the strong path (filter distrust, unpublished snapshot, or mid-read migration)."),
 		migrations: reg.Counter("pimtrie_router_migrations_total",
 			"Completed hot-range slot migrations."),
 		migratedKeys: reg.Counter("pimtrie_router_migrated_keys_total",

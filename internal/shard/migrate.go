@@ -241,7 +241,15 @@ func (r *Router) migrateSlotLocked(slot, to int) (int, error) {
 		}
 	}
 
-	r.table[slot] = to
+	// Copy-on-write flip: never mutate a published table. The pointer
+	// store is the linearization point for lock-free snapshot readers —
+	// it happens BEFORE the source-side delete below, so any reader that
+	// could observe the post-delete source snapshot also observes the
+	// new pointer on its re-check and falls back (see Router.snapshotGet).
+	next := append([]int(nil), r.table...)
+	next[slot] = to
+	r.table = next
+	r.tableP.Store(&next)
 
 	del := make([]Key, 0, len(kvs)+r.routeBits)
 	for _, kv := range kvs {

@@ -139,6 +139,18 @@ type Router struct {
 	table    []int
 	closed   bool
 
+	// tableP is the copy-on-write published routing table behind the
+	// lock-free snapshot read path: migrations install a fresh copy
+	// (never mutating a published one), and a snapshot read re-loads the
+	// pointer after probing — a changed pointer means a migration
+	// completed mid-read and the whole call falls back to the barrier
+	// path. closedA mirrors closed for the same lock-free readers.
+	tableP  atomic.Pointer[[]int]
+	closedA atomic.Bool
+
+	snapKeys      atomic.Uint64 // keys served via shard-local snapshot reads
+	snapFallbacks atomic.Uint64 // ReadSnapshot keys sent to the barrier path
+
 	// migMu serializes migration cycles and guards the load snapshots.
 	migMu     sync.Mutex
 	prevLoad  [][]uint64
@@ -200,6 +212,7 @@ func New(cfg Config) *Router {
 		stop:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
+	r.tableP.Store(&table)
 	for i := 0; i < cfg.Shards; i++ {
 		iopts := cfg.Index
 		iopts.Seed = iopts.Seed*int64(cfg.Shards) + int64(i) + 1
@@ -234,6 +247,7 @@ func (r *Router) Close() {
 		return
 	}
 	r.closed = true
+	r.closedA.Store(true)
 	close(r.stop)
 	r.mu.Unlock()
 	<-r.loopDone
@@ -271,6 +285,10 @@ type Stats struct {
 	// LastImbalance is the max/mean per-shard load of the most recent
 	// migration-policy sample (0 until the first sample).
 	LastImbalance float64
+	// SnapshotReads counts keys served wait-free from shard snapshots;
+	// SnapshotFallbacks counts ReadSnapshot keys rerouted to the strong
+	// path (recent write, unpublished snapshot, or mid-read migration).
+	SnapshotReads, SnapshotFallbacks uint64
 }
 
 // Stats returns a router snapshot.
@@ -293,6 +311,7 @@ func (r *Router) Stats() Stats {
 	st.LastImbalance = r.lastImbal
 	r.migMu.Unlock()
 	st.Migrations, st.MovedKeys = r.migration.Load(), r.movedKeys.Load()
+	st.SnapshotReads, st.SnapshotFallbacks = r.snapKeys.Load(), r.snapFallbacks.Load()
 	return st
 }
 

@@ -204,4 +204,3 @@ func PruneCheckpoints(dir string, keep int) error {
 	}
 	return syncDir(dir)
 }
-
